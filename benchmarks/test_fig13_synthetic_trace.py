@@ -1,0 +1,54 @@
+"""Figure 13: arrival pattern of the synthetic workload-fluctuation trace.
+
+Each category's request rate peaks at a different time (chat, then coding,
+then summarization), creating bursty per-application traffic on top of a
+small base rate — the input for the Figure 14 sensitivity study.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import SEED
+from repro.workloads.trace import phased_trace, trace_frequency
+
+_DURATION_S = 360.0
+_CATS = ("chatbot", "coding", "summarization")
+_PEAK_RPS = 3.2
+_BASE_RPS = 0.4
+_BIN_S = 15.0
+
+
+def _build():
+    pairs = phased_trace(_DURATION_S, list(_CATS), _PEAK_RPS, _BASE_RPS, seed=SEED)
+    per_cat = {
+        cat: trace_frequency([t for t, c in pairs if c == cat], _BIN_S, _DURATION_S)
+        for cat in _CATS
+    }
+    return pairs, per_cat
+
+
+def test_fig13_phased_trace(benchmark):
+    pairs, per_cat = benchmark.pedantic(_build, rounds=1, iterations=1)
+
+    print("\n=== Figure 13: per-category request rate over time ===")
+    n_bins = len(next(iter(per_cat.values())))
+    print("min   " + "  ".join(f"{c[:5]:>5s}" for c in _CATS))
+    for b in range(0, n_bins, 2):
+        t_min = b * _BIN_S / 60
+        print(
+            f"{t_min:4.1f}  "
+            + "  ".join(f"{per_cat[c][b] / _BIN_S:5.2f}" for c in _CATS)
+        )
+
+    # Peaks are staggered in the configured order.
+    def peak_time(cat):
+        counts = per_cat[cat]
+        return max(range(len(counts)), key=counts.__getitem__) * _BIN_S
+
+    assert peak_time("chatbot") < peak_time("coding") < peak_time("summarization")
+    # Each category's peak rate is well above its own off-peak rate.
+    for cat in _CATS:
+        counts = per_cat[cat]
+        third = len(counts) // 3
+        peak = max(counts)
+        off = min(sum(counts[:third]), sum(counts[-third:])) / third
+        assert peak / _BIN_S > 2.0 * max(off / _BIN_S, 0.05)

@@ -1,0 +1,45 @@
+"""Figure 7: request frequency over time of the real-world trace.
+
+Reproduces the trace *shape*: bursty, time-varying arrival frequency with
+a mean rescaled to the target RPS (the paper truncates and rescales the
+Splitwise production trace the same way).
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import SEED
+from repro.workloads.trace import bursty_trace, trace_frequency
+
+_DURATION_S = 1200.0  # 20-minute window, as in the paper's figure
+_TARGET_RPS = 2.0
+_BIN_S = 12.0
+
+
+def _build():
+    arrivals = bursty_trace(_DURATION_S, _TARGET_RPS, seed=SEED, burstiness=0.6)
+    return arrivals, trace_frequency(arrivals, _BIN_S, _DURATION_S)
+
+
+def test_fig7_trace_shape(benchmark):
+    arrivals, counts = benchmark.pedantic(_build, rounds=1, iterations=1)
+
+    print("\n=== Figure 7: request frequency over time (bin = 12 s) ===")
+    peak = max(counts) or 1
+    for minute in range(0, 20, 2):
+        lo = int(minute * 60 / _BIN_S)
+        hi = int((minute + 2) * 60 / _BIN_S)
+        window = counts[lo:hi]
+        mean = sum(window) / len(window)
+        bar = "#" * int(40 * mean / peak)
+        print(f"{minute:4.1f}m  {mean:6.1f} req/bin  {bar}")
+
+    # Mean rate matches the rescaling target.
+    assert abs(len(arrivals) / _DURATION_S - _TARGET_RPS) < 0.3
+    # Bursty: peak well above mean, variance overdispersed.
+    mean_count = sum(counts) / len(counts)
+    assert max(counts) > 1.8 * mean_count
+    var = sum((c - mean_count) ** 2 for c in counts) / len(counts)
+    assert var > mean_count  # super-Poissonian
+    # Never fully idle for long stretches (trace floor).
+    quiet = sum(1 for c in counts if c == 0)
+    assert quiet < len(counts) * 0.3

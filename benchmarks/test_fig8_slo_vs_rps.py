@@ -1,0 +1,45 @@
+"""Figure 8: SLO attainment vs. request rate (both models, six systems).
+
+Paper shape: AdaServe tops every RPS point; vLLM-Spec is the strongest
+baseline but degrades faster as RPS grows; vLLM/Sarathi sit lowest under
+the 60/20/20 latency-critical mix.  Headline: up to 2.1x (Llama) / 1.6x
+(Qwen) attainment over the best baseline, up to 4.3x / 3.2x fewer
+violations at the highest RPS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import RPS_SWEEP, adaserve_dominates, rps_sweep
+from repro.analysis.report import improvement_summary, series_table
+
+
+@pytest.mark.parametrize("model", sorted(RPS_SWEEP))
+def test_fig8_slo_attainment(benchmark, model):
+    points = benchmark.pedantic(rps_sweep, args=(model,), rounds=1, iterations=1)
+
+    print(f"\n=== Figure 8 ({model}): SLO attainment vs RPS ===")
+    print(series_table(points, value="attainment", x_label="RPS"))
+    summary = improvement_summary(points)
+    print(
+        f"max violation reduction vs best baseline: "
+        f"{summary['max_violation_reduction']:.2f}x (paper: up to 4.3x)"
+    )
+    checks = adaserve_dominates(points, "attainment", tolerance=0.03)
+    for c in checks:
+        print(c)
+
+    # Shape assertions: AdaServe never below the best baseline (within
+    # tolerance) and strictly better at the highest RPS.
+    assert all(c.passed for c in checks)
+    top_rps = max(RPS_SWEEP[model])
+    ada = next(p for p in points if p.x == top_rps and p.system == "AdaServe")
+    best_other = max(
+        (p for p in points if p.x == top_rps and p.system != "AdaServe"),
+        key=lambda p: p.attainment,
+    )
+    assert ada.attainment > best_other.attainment
+    # Attainment decreases with load for AdaServe (monotone trend, loose).
+    ada_series = [p.attainment for p in points if p.system == "AdaServe"]
+    assert ada_series[0] >= ada_series[-1]

@@ -1,0 +1,41 @@
+"""Figure 9: goodput vs. request rate (both models, six systems).
+
+Paper shape: AdaServe delivers the highest goodput at every RPS, up to
+1.9x (Llama) / 1.7x (Qwen) over the best baseline; continuous-batching
+systems plateau early because attained requests shrink with load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import RPS_SWEEP, adaserve_dominates, rps_sweep
+from repro.analysis.report import improvement_summary, series_table
+
+
+@pytest.mark.parametrize("model", sorted(RPS_SWEEP))
+def test_fig9_goodput(benchmark, model):
+    points = benchmark.pedantic(rps_sweep, args=(model,), rounds=1, iterations=1)
+
+    print(f"\n=== Figure 9 ({model}): goodput (tokens/s) vs RPS ===")
+    print(series_table(points, value="goodput", x_label="RPS"))
+    summary = improvement_summary(points)
+    print(
+        f"max goodput ratio vs best baseline: "
+        f"{summary['max_goodput_ratio']:.2f}x (paper: up to 1.9x)"
+    )
+    checks = adaserve_dominates(points, "goodput", tolerance=20.0)
+    for c in checks:
+        print(c)
+
+    assert all(c.passed for c in checks)
+    # AdaServe leads the best baseline at every point (the margin over the
+    # *best* SD baseline is modest while that baseline's attainment holds;
+    # the paper's 1.9x headline corresponds to regimes where baseline
+    # attainment collapses, visible in the Figure 10/11 goodput tables).
+    assert summary["max_goodput_ratio"] >= 1.02
+    # Against the reference continuous-batching system the gap is large.
+    for x in sorted({p.x for p in points}):
+        ada = next(p.goodput for p in points if p.x == x and p.system == "AdaServe")
+        vllm = next(p.goodput for p in points if p.x == x and p.system == "vLLM")
+        assert ada > 1.5 * vllm

@@ -1,0 +1,70 @@
+"""Table 1: evaluation setups (models, parallelism, GPUs).
+
+Verifies the encoded deployments match the paper's table and reports the
+derived hardware quantities (baseline latency, profiled token budget, KV
+capacity) each serving run depends on.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import setup_for
+from repro.analysis.report import format_table
+from repro.hardware.profiler import HardwareProfiler
+
+
+def _profile_all():
+    rows = []
+    for model, tp_expected, draft_name in (
+        ("llama70b", 4, "llama-3.2-1b"),
+        ("qwen32b", 2, "qwen2.5-0.5b"),
+    ):
+        setup = setup_for(model)
+        target = setup.target_deployment
+        rl = setup.target_roofline
+        prof = HardwareProfiler(rl).profile()
+        rows.append(
+            {
+                "model": target.model.name,
+                "parallelism": f"{target.tensor_parallel}-way TP",
+                "gpus": f"{target.tensor_parallel} x {target.gpu.name}",
+                "draft": setup.draft_deployment.model.name,
+                "baseline_ms": rl.baseline_decode_latency * 1e3,
+                "budget": prof.token_budget,
+                "kv_tokens": target.kv_capacity_tokens,
+                "tp_expected": tp_expected,
+                "draft_expected": draft_name,
+            }
+        )
+    return rows
+
+
+def test_tab1_setups(benchmark):
+    rows = benchmark.pedantic(_profile_all, rounds=1, iterations=1)
+
+    print("\n=== Table 1: evaluation setups ===")
+    print(
+        format_table(
+            ["model", "parallelism", "GPUs", "draft", "baseline", "budget B", "KV tokens"],
+            [
+                [
+                    r["model"],
+                    r["parallelism"],
+                    r["gpus"],
+                    r["draft"],
+                    f"{r['baseline_ms']:.1f} ms",
+                    str(r["budget"]),
+                    str(r["kv_tokens"]),
+                ]
+                for r in rows
+            ],
+        )
+    )
+
+    for r in rows:
+        assert r["parallelism"] == f"{r['tp_expected']}-way TP"
+        assert r["draft"] == r["draft_expected"]
+        assert "a100" in r["gpus"]
+        # Derived quantities in plausible ranges for these deployments.
+        assert 10 < r["baseline_ms"] < 50
+        assert 32 <= r["budget"] <= 1024
+        assert r["kv_tokens"] > 50_000

@@ -1,0 +1,70 @@
+"""Table 2: request categories and their SLOs.
+
+Verifies the encoded categories match the paper's table (coding copilot at
+1.2x baseline latency, chatbot at 50 ms, summarization at 150 ms) and
+reports the resolved SLOs plus workload statistics per category.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import SEED, setup_for
+from repro.analysis.report import format_table
+from repro.workloads.categories import CATEGORIES
+from repro.workloads.datasets import DATASETS
+from repro.workloads.generator import WorkloadGenerator
+
+
+def _build():
+    setup = setup_for("llama70b")
+    baseline = setup.target_roofline.baseline_decode_latency
+    gen = WorkloadGenerator(setup.target_roofline, seed=SEED)
+    reqs = gen.steady(duration_s=600.0, rps=3.0)
+    stats = {}
+    for name, cat in CATEGORIES.items():
+        cat_reqs = [r for r in reqs if r.category == name]
+        stats[name] = {
+            "app": cat.app,
+            "dataset": cat.dataset,
+            "slo_ms": cat.resolve_slo(baseline) * 1e3,
+            "mean_prompt": sum(r.prompt_len for r in cat_reqs) / len(cat_reqs),
+            "mean_output": sum(r.max_new_tokens for r in cat_reqs) / len(cat_reqs),
+            "predictability": cat.predictability,
+        }
+    return baseline, stats
+
+
+def test_tab2_categories(benchmark):
+    baseline, stats = benchmark.pedantic(_build, rounds=1, iterations=1)
+
+    print(f"\n=== Table 2: request categories (baseline = {baseline * 1e3:.1f} ms) ===")
+    print(
+        format_table(
+            ["category", "app", "dataset", "SLO", "prompt", "output", "pred"],
+            [
+                [
+                    name,
+                    s["app"],
+                    s["dataset"],
+                    f"{s['slo_ms']:.1f} ms",
+                    f"{s['mean_prompt']:.0f}",
+                    f"{s['mean_output']:.0f}",
+                    f"{s['predictability']:.2f}",
+                ]
+                for name, s in stats.items()
+            ],
+        )
+    )
+
+    # Table 2 rows.
+    assert abs(stats["coding"]["slo_ms"] - baseline * 1.2e3) < 1e-6
+    assert stats["chatbot"]["slo_ms"] == 50.0
+    assert stats["summarization"]["slo_ms"] == 150.0
+    assert stats["coding"]["dataset"] == "humaneval"
+    assert stats["chatbot"]["dataset"] == "alpaca"
+    assert stats["summarization"]["dataset"] == "cnn_dailymail"
+    # SLO strictness ordering: coding < chatbot < summarization.
+    assert stats["coding"]["slo_ms"] < stats["chatbot"]["slo_ms"] < stats["summarization"]["slo_ms"]
+    # Long-prompt class is the summarization one.
+    assert stats["summarization"]["mean_prompt"] > 2 * stats["coding"]["mean_prompt"]
+    # Dataset registry covers every category.
+    assert all(s["dataset"] in DATASETS for s in stats.values())

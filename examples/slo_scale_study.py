@@ -1,0 +1,60 @@
+"""SLO-scale study: how tight can TPOT targets get before systems break?
+
+Reproduces the Figure 11 experiment interactively for one model: the
+urgent category's SLO is scaled from generous (1.6x) to brutal (0.6x of
+the baseline-relative default) and each system's attainment/goodput is
+tabulated, together with the per-iteration token requirement the scale
+implies — making the mechanism visible (a uniform decode iteration simply
+cannot fit below scale ~1.0, speculation can).
+
+Run:  python examples/slo_scale_study.py [model]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import build_setup, run_once
+from repro.analysis.report import format_table
+from repro.workloads import WorkloadGenerator
+from repro.workloads.categories import urgent_mix
+
+SCALES = (1.6, 1.2, 1.0, 0.8, 0.6)
+SYSTEMS = ("adaserve", "vllm-spec-6", "sarathi", "vllm")
+RPS = 4.0
+
+
+def main(model: str = "llama70b") -> None:
+    setup = build_setup(model)
+    baseline = setup.target_roofline.baseline_decode_latency
+    print(f"model: {model}, baseline decode latency {baseline * 1e3:.1f} ms")
+    print("urgent SLO per scale (and tokens/iteration a ~40 ms SD iteration needs):")
+    for scale in SCALES:
+        slo = 1.2 * baseline * scale
+        print(f"  scale {scale:>3}: SLO {slo * 1e3:5.1f} ms  ->  >= {0.040 / slo:.1f} tok/iter")
+
+    rows = []
+    for scale in SCALES:
+        gen = WorkloadGenerator(setup.target_roofline, seed=17, slo_scale=scale)
+        requests = gen.bursty(duration_s=35.0, rps=RPS, mix=urgent_mix(0.6))
+        cells = [f"{scale:g}"]
+        for system in SYSTEMS:
+            report = run_once(setup, system, requests, max_sim_time_s=900.0)
+            m = report.metrics
+            cells.append(f"{m.attainment * 100:5.1f}% / {m.goodput:4.0f}")
+            print(f"  done: scale={scale} {report.scheduler_name}", file=sys.stderr)
+        rows.append(cells)
+
+    print("\nattainment / goodput (tokens/s):")
+    print(format_table(["scale"] + [s for s in SYSTEMS], rows))
+    print(
+        "\nReading: continuous batching (vllm, sarathi) collapses once the "
+        "scale drops below 1.0 — a uniform iteration takes longer than the "
+        "SLO allows. Speculative systems keep functioning; AdaServe holds "
+        "the most attainment because it sizes each request's tree to its "
+        "own requirement."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "llama70b")

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so the PEP-517
+editable path (which needs ``bdist_wheel``) fails.  This shim lets
+``pip install -e . --no-use-pep517`` (and plain ``pip install -e .`` on
+older pips) fall back to the legacy ``setup.py develop`` route.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

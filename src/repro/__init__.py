@@ -1,0 +1,36 @@
+"""AdaServe reproduction: SLO-customized LLM serving with fine-grained
+speculative decoding, as a faithful discrete-event simulation.
+
+Subpackages
+-----------
+- ``repro.core`` — the paper's contribution: token trees, Algorithm 1,
+  the speculate-select-verify pipeline (Algorithm 2), adaptive beam
+  control, and the AdaServe scheduler.
+- ``repro.model`` — synthetic draft/target model pair (seeded stochastic
+  process standing in for real LLM weights).
+- ``repro.hardware`` — roofline GPU cost model, budget profiling, CUDA
+  graph launch model.
+- ``repro.serving`` — serving simulator: requests, engine, KV cache,
+  metrics.
+- ``repro.baselines`` — vLLM, Sarathi-Serve, vLLM-Spec(n), vLLM+Priority,
+  FastServe, VTC.
+- ``repro.workloads`` — Table 2 categories, synthetic datasets, traces.
+- ``repro.analysis`` — experiment harness + result tables.
+
+Quickstart
+----------
+>>> from repro.analysis import build_setup, run_once
+>>> from repro.workloads import WorkloadGenerator
+>>> setup = build_setup("llama70b")
+>>> gen = WorkloadGenerator(setup.target_roofline, seed=0)
+>>> requests = gen.steady(duration_s=20.0, rps=3.0)
+>>> report = run_once(setup, "adaserve", requests)
+>>> 0.0 <= report.attainment <= 1.0
+True
+"""
+
+__version__ = "0.1.0"
+
+from repro.core.scheduler import AdaServeScheduler
+
+__all__ = ["AdaServeScheduler", "__version__"]

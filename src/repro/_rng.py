@@ -1,0 +1,75 @@
+"""Fast, allocation-free deterministic pseudo-randomness.
+
+The simulator draws millions of tiny next-token distributions per run, so we
+cannot afford a ``numpy.random.Generator`` construction per draw.  Instead,
+every random quantity in the synthetic model substrate is a pure function of
+a 64-bit *context hash* computed with splitmix64-style mixing.  This gives:
+
+- determinism: the same (seed, token sequence) always yields the same
+  distribution, which is what makes tree verification consistent with
+  sequence decoding;
+- O(1) incremental updates: appending a token to a context is one mix step;
+- speed: a handful of integer multiplications per uniform.
+
+All functions operate on Python ints masked to 64 bits.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+
+# Multipliers from the splitmix64 / Murmur3 finalizer families.
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+_COMBINE = 0x2545F4914F6CDD1D
+
+_INV_2_53 = 1.0 / (1 << 53)
+
+
+def splitmix64(x: int) -> int:
+    """Finalize a 64-bit value into a well-mixed 64-bit value."""
+    x = (x + _GOLDEN) & MASK64
+    x = ((x ^ (x >> 30)) * _MIX1) & MASK64
+    x = ((x ^ (x >> 27)) * _MIX2) & MASK64
+    return x ^ (x >> 31)
+
+
+def mix(h: int, v: int) -> int:
+    """Combine a hash with a new value (e.g. append a token to a context)."""
+    return splitmix64((h ^ (v * _COMBINE)) & MASK64)
+
+
+def hash_seed(*parts: int) -> int:
+    """Build a root hash from integer parts (seed, request id, ...)."""
+    h = 0x853C49E6748FEA9B
+    for p in parts:
+        h = mix(h, p & MASK64)
+    return h
+
+
+def uniform(h: int, salt: int) -> float:
+    """One uniform in [0, 1) derived from (hash, salt)."""
+    return (splitmix64((h ^ (salt * _COMBINE)) & MASK64) >> 11) * _INV_2_53
+
+
+def uniforms(h: int, salt: int, n: int) -> list[float]:
+    """``n`` independent uniforms in [0, 1) derived from (hash, salt)."""
+    base = splitmix64((h ^ (salt * _COMBINE)) & MASK64)
+    out = []
+    x = base
+    for _ in range(n):
+        x = (x + _GOLDEN) & MASK64
+        y = ((x ^ (x >> 30)) * _MIX1) & MASK64
+        y = ((y ^ (y >> 27)) * _MIX2) & MASK64
+        y ^= y >> 31
+        out.append((y >> 11) * _INV_2_53)
+    return out
+
+
+def randint(h: int, salt: int, lo: int, hi: int) -> int:
+    """One integer in [lo, hi) derived from (hash, salt)."""
+    span = hi - lo
+    if span <= 0:
+        raise ValueError(f"empty range [{lo}, {hi})")
+    return lo + splitmix64((h ^ (salt * _COMBINE)) & MASK64) % span

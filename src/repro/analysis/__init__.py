@@ -1,0 +1,33 @@
+"""Experiment harness and result formatting."""
+
+from repro.analysis.harness import (
+    MODEL_SETUPS,
+    SYSTEM_NAMES,
+    Setup,
+    build_setup,
+    make_scheduler,
+    run_once,
+)
+from repro.analysis.report import (
+    SeriesPoint,
+    best_baseline,
+    format_table,
+    improvement_summary,
+    point_from_metrics,
+    series_table,
+)
+
+__all__ = [
+    "MODEL_SETUPS",
+    "SYSTEM_NAMES",
+    "Setup",
+    "SeriesPoint",
+    "best_baseline",
+    "build_setup",
+    "format_table",
+    "improvement_summary",
+    "make_scheduler",
+    "point_from_metrics",
+    "run_once",
+    "series_table",
+]

@@ -1,0 +1,106 @@
+"""Result export: JSON/CSV serialization of runs and sweeps.
+
+Benchmarks print tables for humans; this module serializes the same data
+for plotting scripts and regression tracking.  Everything is plain-stdlib
+(json/csv) so exports work in the offline environment.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable
+
+from repro.analysis.report import SeriesPoint
+from repro.serving.metrics import RunMetrics
+from repro.serving.server import SimulationReport
+
+
+def metrics_to_dict(metrics: RunMetrics) -> dict:
+    """Flatten run metrics (with per-category sub-dicts)."""
+    return {
+        "num_requests": metrics.num_requests,
+        "num_finished": metrics.num_finished,
+        "num_attained": metrics.num_attained,
+        "attainment": metrics.attainment,
+        "violation_rate": metrics.violation_rate,
+        "goodput": metrics.goodput,
+        "throughput": metrics.throughput,
+        "total_tokens": metrics.total_tokens,
+        "attained_tokens": metrics.attained_tokens,
+        "span_s": metrics.span_s,
+        "mean_accepted_per_verify": metrics.mean_accepted_per_verify,
+        "per_category": {
+            name: {
+                "num_requests": cm.num_requests,
+                "attainment": cm.attainment,
+                "mean_tpot_s": cm.mean_tpot_s,
+                "p99_tpot_s": cm.p99_tpot_s,
+                "mean_ttft_s": cm.mean_ttft_s,
+                "p99_ttft_s": cm.p99_ttft_s,
+            }
+            for name, cm in metrics.per_category.items()
+        },
+    }
+
+
+def report_to_dict(report: SimulationReport) -> dict:
+    """Serialize a simulation report (without per-request detail)."""
+    return {
+        "scheduler": report.scheduler_name,
+        "sim_time_s": report.sim_time_s,
+        "iterations": report.iterations,
+        "phase_breakdown": dict(report.phase_breakdown),
+        "metrics": metrics_to_dict(report.metrics),
+    }
+
+
+def report_to_json(report: SimulationReport, indent: int = 2) -> str:
+    """JSON text of a simulation report."""
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+
+
+def points_to_csv(points: Iterable[SeriesPoint]) -> str:
+    """CSV text of sweep points (one row per (x, system))."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        ["x", "system", "attainment", "goodput", "violation_rate", "mean_accepted"]
+    )
+    for p in sorted(points, key=lambda p: (p.x, p.system)):
+        writer.writerow(
+            [p.x, p.system, p.attainment, p.goodput, p.violation_rate, p.mean_accepted]
+        )
+    return buf.getvalue()
+
+
+def points_to_json(points: Iterable[SeriesPoint], indent: int = 2) -> str:
+    """JSON text of sweep points."""
+    payload = [
+        {
+            "x": p.x,
+            "system": p.system,
+            "attainment": p.attainment,
+            "goodput": p.goodput,
+            "violation_rate": p.violation_rate,
+            "mean_accepted": p.mean_accepted,
+        }
+        for p in sorted(points, key=lambda p: (p.x, p.system))
+    ]
+    return json.dumps(payload, indent=indent)
+
+
+def points_from_json(text: str) -> list[SeriesPoint]:
+    """Inverse of :func:`points_to_json`."""
+    return [
+        SeriesPoint(
+            x=row["x"],
+            system=row["system"],
+            attainment=row["attainment"],
+            goodput=row["goodput"],
+            violation_rate=row["violation_rate"],
+            mean_accepted=row["mean_accepted"],
+        )
+        for row in json.loads(text)
+    ]

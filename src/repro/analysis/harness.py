@@ -1,0 +1,144 @@
+"""Experiment harness: assemble engine + scheduler + workload and run.
+
+Every benchmark and example builds its runs through this module so that
+system construction is identical everywhere:
+
+- :func:`build_setup` wires a model-pair preset to its Table 1 deployment
+  (target + draft rooflines, KV manager);
+- :func:`make_scheduler` instantiates any of the seven evaluated systems
+  by name;
+- :func:`run_once` executes one (system, workload) simulation and returns
+  the report.
+
+Engines and schedulers are stateful, so a fresh pair is built per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines import (
+    FastServeScheduler,
+    PriorityScheduler,
+    SarathiScheduler,
+    SmartSpecScheduler,
+    VLLMScheduler,
+    VLLMSpecScheduler,
+    VTCScheduler,
+)
+from repro.core.scheduler import AdaServeScheduler
+from repro.hardware.roofline import RooflineModel
+from repro.hardware.spec import DEPLOYMENT_PRESETS, DeploymentSpec
+from repro.model.pair import ModelPair
+from repro.serving.engine import SimulatedEngine
+from repro.serving.kv_cache import KVCacheManager
+from repro.serving.request import Request
+from repro.serving.scheduler_base import Scheduler
+from repro.serving.server import ServingSimulator, SimulationReport
+
+#: The two Table 1 setups: (pair preset, target deployment, draft deployment).
+MODEL_SETUPS: dict[str, tuple[str, str, str]] = {
+    "llama70b": ("llama70b-1b", "llama70b-4xa100", "llama1b-1xa100"),
+    "qwen32b": ("qwen32b-05b", "qwen32b-2xa100", "qwen05b-1xa100"),
+}
+
+#: Systems evaluated in the end-to-end figures.
+SYSTEM_NAMES = (
+    "adaserve",
+    "vllm",
+    "sarathi",
+    "vllm-spec-4",
+    "vllm-spec-6",
+    "vllm-spec-8",
+    "priority",
+    "fastserve",
+    "vtc",
+    "smartspec",
+)
+
+
+@dataclass(frozen=True)
+class Setup:
+    """Reusable (per-run-rebuilt) description of a deployment."""
+
+    pair_preset: str
+    target_deployment: DeploymentSpec
+    draft_deployment: DeploymentSpec
+    seed: int = 0
+
+    def build_engine(self) -> SimulatedEngine:
+        """Fresh engine: model pair, rooflines, KV manager."""
+        pair = ModelPair.from_preset(self.pair_preset, seed=self.seed)
+        target_rl = RooflineModel(self.target_deployment)
+        draft_rl = RooflineModel(self.draft_deployment)
+        kv = KVCacheManager(self.target_deployment.kv_capacity_tokens)
+        return SimulatedEngine(pair, target_rl, draft_rl, kv, seed=self.seed)
+
+    @property
+    def target_roofline(self) -> RooflineModel:
+        """Cost model of the target deployment (for workload SLOs)."""
+        return RooflineModel(self.target_deployment)
+
+
+def build_setup(model: str, seed: int = 0) -> Setup:
+    """Setup for a named model configuration ('llama70b' or 'qwen32b')."""
+    try:
+        pair_preset, target_name, draft_name = MODEL_SETUPS[model]
+    except KeyError:
+        raise KeyError(f"unknown model setup {model!r}; available: {sorted(MODEL_SETUPS)}") from None
+    return Setup(
+        pair_preset=pair_preset,
+        target_deployment=DEPLOYMENT_PRESETS[target_name],
+        draft_deployment=DEPLOYMENT_PRESETS[draft_name],
+        seed=seed,
+    )
+
+
+def make_scheduler(system: str, engine: SimulatedEngine, **overrides) -> Scheduler:
+    """Instantiate an evaluated system by name."""
+    key = system.lower()
+    if key == "adaserve":
+        return AdaServeScheduler(engine, **overrides)
+    if key == "vllm":
+        return VLLMScheduler(engine, **overrides)
+    if key == "sarathi":
+        return SarathiScheduler(engine, **overrides)
+    if key.startswith("vllm-spec-"):
+        return VLLMSpecScheduler(engine, spec_len=int(key.rsplit("-", 1)[1]), **overrides)
+    if key == "priority":
+        return PriorityScheduler(engine, **overrides)
+    if key == "fastserve":
+        return FastServeScheduler(engine, **overrides)
+    if key == "vtc":
+        return VTCScheduler(engine, **overrides)
+    if key == "smartspec":
+        return SmartSpecScheduler(engine, **overrides)
+    raise KeyError(f"unknown system {system!r}; available: {SYSTEM_NAMES}")
+
+
+def run_once(
+    setup: Setup,
+    system: str,
+    requests: list[Request],
+    max_sim_time_s: float = 7200.0,
+    **scheduler_overrides,
+) -> SimulationReport:
+    """Run one system over one workload on a fresh engine."""
+    engine = setup.build_engine()
+    scheduler = make_scheduler(system, engine, **scheduler_overrides)
+    # Requests are mutated during a run; give each run a private copy.
+    cloned = [
+        Request(
+            rid=r.rid,
+            category=r.category,
+            arrival_time=r.arrival_time,
+            prompt_len=r.prompt_len,
+            max_new_tokens=r.max_new_tokens,
+            tpot_slo=r.tpot_slo,
+            predictability=r.predictability,
+            priority=r.priority,
+        )
+        for r in requests
+    ]
+    sim = ServingSimulator(engine, scheduler, cloned, max_sim_time_s=max_sim_time_s)
+    return sim.run()

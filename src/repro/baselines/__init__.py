@@ -1,0 +1,19 @@
+"""Baseline serving policies the paper compares against."""
+
+from repro.baselines.fastserve import FastServeScheduler
+from repro.baselines.priority import PriorityScheduler
+from repro.baselines.sarathi import SarathiScheduler
+from repro.baselines.smartspec import SmartSpecScheduler
+from repro.baselines.vllm import VLLMScheduler
+from repro.baselines.vllm_spec import VLLMSpecScheduler
+from repro.baselines.vtc import VTCScheduler
+
+__all__ = [
+    "FastServeScheduler",
+    "PriorityScheduler",
+    "SarathiScheduler",
+    "SmartSpecScheduler",
+    "VLLMScheduler",
+    "VLLMSpecScheduler",
+    "VTCScheduler",
+]

@@ -1,0 +1,141 @@
+"""SmartSpec-style baseline: adaptive *chain* speculation (related work).
+
+SmartSpec (Liu et al., referenced in §7) tunes the draft chain length per
+iteration from the observed acceptance rate and system load, optimizing
+goodput — but it is SLO-blind and chain-based (no trees, no per-request
+customization).  It sits between vLLM-Spec(n) and AdaServe in the design
+space, which makes it the right instrument for attributing AdaServe's
+gains: adaptivity alone (this scheduler) vs. adaptivity + SLO-customized
+tree allocation (AdaServe).
+
+Policy reproduced here:
+
+- Track an exponential moving average of the per-token acceptance rate.
+- Each iteration, pick the chain length k in [1, k_max] maximizing the
+  predicted *goodput rate*: expected tokens generated per second,
+
+      rate(k) = n * (E[accepted | k, p] + 1) / iteration_latency(k)
+
+  where E[accepted | k, p] = p(1-p^k)/(1-p) is the geometric acceptance
+  sum and iteration_latency(k) prices k draft steps plus verification of
+  n*k tokens with the roofline.
+"""
+
+from __future__ import annotations
+
+from repro.model.acceptance import verify_sequence
+from repro.serving.request import Request
+from repro.serving.scheduler_base import Scheduler
+
+#: Bounds on the adaptive chain length.
+DEFAULT_K_MAX = 8
+
+#: EMA smoothing for the observed acceptance rate.
+_EMA_ALPHA = 0.15
+
+
+class SmartSpecScheduler(Scheduler):
+    """Goodput-adaptive chain speculation on continuous batching."""
+
+    name = "SmartSpec"
+
+    def __init__(self, *args, k_max: int = DEFAULT_K_MAX, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if k_max < 1:
+            raise ValueError("k_max must be >= 1")
+        self.k_max = k_max
+        #: EMA of the per-position acceptance probability.
+        self.acceptance_ema = 0.7
+        self.last_k = 1
+
+    # ------------------------------------------------------------------
+    def _expected_accepted(self, k: int, p: float) -> float:
+        """Geometric acceptance sum for a depth-k chain."""
+        if p >= 1.0:
+            return float(k)
+        return p * (1.0 - p**k) / (1.0 - p)
+
+    def _iteration_latency(self, k: int, n: int, context: int) -> float:
+        """Predicted latency of a k-chain iteration over n requests."""
+        draft = self.engine.draft_roofline.forward_latency(n, context) * k
+        verify = self.engine.target_roofline.forward_latency(n * k, context)
+        return draft + verify + self.engine.step_overhead_s
+
+    def choose_k(self, n: int, context: int) -> int:
+        """Chain length maximizing predicted tokens/second."""
+        p = self.acceptance_ema
+        best_k, best_rate = 1, 0.0
+        for k in range(1, self.k_max + 1):
+            rate = n * (self._expected_accepted(k, p) + 1.0) / self._iteration_latency(
+                k, n, context
+            )
+            if rate > best_rate:
+                best_k, best_rate = k, rate
+        return best_k
+
+    def _observe(self, accepted: int, proposed: int) -> None:
+        """Fold an iteration's acceptance into the EMA."""
+        if proposed <= 0:
+            return
+        rate = accepted / proposed
+        self.acceptance_ema = (
+            (1 - _EMA_ALPHA) * self.acceptance_ema + _EMA_ALPHA * rate
+        )
+        # Keep the estimate in a sane band (rate can hit 0/1 on tiny batches).
+        self.acceptance_ema = min(0.95, max(0.05, self.acceptance_ema))
+
+    def _draft_chain(self, req: Request, k: int) -> list[int]:
+        chain: list[int] = []
+        ctx = req.ctx
+        for _ in range(k):
+            tok, _prob = self.engine.pair.draft_children(ctx, 1, req.predictability)[0]
+            chain.append(tok)
+            ctx = self.engine.pair.extend(ctx, tok)
+        return chain
+
+    # ------------------------------------------------------------------
+    def step(self, now: float) -> float:
+        self._retire_finished()
+
+        if self.waiting:
+            latency = self._prefill_iteration(now)
+            if latency is not None:
+                return latency
+
+        batch = self.running[: self.max_batch_size]
+        batch = self._ensure_kv_for_decode(batch, extra_tokens=self.k_max + 1)
+        if not batch:
+            latency = self._prefill_iteration(now)
+            if latency is not None:
+                return latency
+            raise RuntimeError("SmartSpec scheduler stuck: no progress possible")
+
+        context = sum(r.kv_tokens for r in batch)
+        k = self.choose_k(len(batch), context)
+        self.last_k = k
+
+        chains = [self._draft_chain(r, k) for r in batch]
+        draft_latency = self.engine.sequence_draft_cost(k, len(batch), context)
+        verify_latency = self.engine.verify_cost(k * len(batch), context)
+        latency = draft_latency + verify_latency + self.engine.step_overhead_s
+
+        end = now + latency
+        total_accepted = 0
+        for req, chain in zip(batch, chains):
+            accepted, _corr, new_ctx = verify_sequence(
+                self.engine.pair, req.ctx, chain, req.predictability
+            )
+            commit = min(accepted + 1, req.remaining_tokens)
+            if commit < accepted + 1:
+                ctx = req.ctx
+                for tok in chain[: commit - 1]:
+                    ctx = self.engine.pair.extend(ctx, tok)
+                emitted = self.engine.pair.target_sample(ctx, req.predictability)
+                new_ctx = self.engine.pair.extend(ctx, emitted)
+            req.verify_steps += 1
+            req.accepted_draft_tokens += min(accepted, commit - 1) if commit > 0 else 0
+            req.commit_tokens(commit, new_ctx, end)
+            total_accepted += accepted
+        self._observe(total_accepted, k * len(batch))
+        self.engine.iterations += 1
+        return latency

@@ -1,0 +1,94 @@
+"""vLLM-Spec baseline: continuous batching + static sequence speculation.
+
+The strongest baseline in the paper's evaluation: vLLM with speculative
+decoding at a *fixed* speculation length n (vLLM-Spec(4/6/8)).  Every
+decode iteration drafts an n-token chain per running request (greedy draft
+decoding, n sequential draft steps over the batch) and verifies all chains
+in one target pass.
+
+The static strategy is exactly what the paper critiques (§6.2): at low
+load it under-speculates and leaves the hardware idle; at high load it
+floods verification with n tokens per request regardless of the budget,
+inflating iteration latency for everyone.
+"""
+
+from __future__ import annotations
+
+from repro.model.acceptance import verify_sequence
+from repro.serving.request import Request
+from repro.serving.scheduler_base import Scheduler
+
+
+class VLLMSpecScheduler(Scheduler):
+    """Static-length sequence speculative decoding on continuous batching.
+
+    Parameters
+    ----------
+    spec_len:
+        Number of tokens drafted per request per iteration (the paper's
+        vLLM-Spec(n)).
+    """
+
+    def __init__(self, *args, spec_len: int = 4, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if spec_len < 1:
+            raise ValueError("spec_len must be >= 1")
+        self.spec_len = spec_len
+        self.name = f"vLLM-Spec({spec_len})"
+
+    def _draft_chain(self, req: Request) -> list[int]:
+        """Greedy draft decode of ``spec_len`` tokens from the request's context."""
+        chain: list[int] = []
+        ctx = req.ctx
+        for _ in range(self.spec_len):
+            tok, _prob = self.engine.pair.draft_children(ctx, 1, req.predictability)[0]
+            chain.append(tok)
+            ctx = self.engine.pair.extend(ctx, tok)
+        return chain
+
+    def step(self, now: float) -> float:
+        self._retire_finished()
+
+        if self.waiting:
+            latency = self._prefill_iteration(now)
+            if latency is not None:
+                return latency
+
+        batch = self.running[: self.max_batch_size]
+        # Reserve room for accepted tokens + correction.
+        batch = self._ensure_kv_for_decode(batch, extra_tokens=self.spec_len + 1)
+        if not batch:
+            latency = self._prefill_iteration(now)
+            if latency is not None:
+                return latency
+            raise RuntimeError("vLLM-Spec scheduler stuck: no progress possible")
+
+        # Draft phase: spec_len sequential steps over the whole batch.
+        context = sum(r.kv_tokens for r in batch)
+        chains = [self._draft_chain(r) for r in batch]
+        draft_latency = self.engine.sequence_draft_cost(self.spec_len, len(batch), context)
+
+        # Verify phase: all chains in one target pass.
+        verify_tokens = self.spec_len * len(batch)
+        verify_latency = self.engine.verify_cost(verify_tokens, context)
+
+        latency = draft_latency + verify_latency + self.engine.step_overhead_s
+        end = now + latency
+        for req, chain in zip(batch, chains):
+            accepted, _correction, new_ctx = verify_sequence(
+                self.engine.pair, req.ctx, chain, req.predictability
+            )
+            commit = min(accepted + 1, req.remaining_tokens)
+            if commit < accepted + 1:
+                # Generation cap: recompute the context for the truncated
+                # prefix (the correction token may be dropped).
+                ctx = req.ctx
+                for tok in chain[: commit - 1]:
+                    ctx = self.engine.pair.extend(ctx, tok)
+                emitted = self.engine.pair.target_sample(ctx, req.predictability)
+                new_ctx = self.engine.pair.extend(ctx, emitted)
+            req.verify_steps += 1
+            req.accepted_draft_tokens += min(accepted, commit - 1) if commit > 0 else 0
+            req.commit_tokens(commit, new_ctx, end)
+        self.engine.iterations += 1
+        return latency

@@ -1,0 +1,139 @@
+"""Command-line interface.
+
+Three subcommands mirror how the repository is used:
+
+- ``run``: serve one workload with one system and print the metrics;
+- ``sweep``: the Figure 8/9 RPS sweep for a set of systems;
+- ``profile``: hardware profiling (Table 1 derived quantities).
+
+Examples
+--------
+::
+
+    python -m repro run --system adaserve --model llama70b --rps 4.0
+    python -m repro sweep --model qwen32b --systems adaserve vllm --rps 2.4 3.2 4.0
+    python -m repro profile --model llama70b
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.harness import MODEL_SETUPS, SYSTEM_NAMES, build_setup, run_once
+from repro.analysis.report import format_table, point_from_metrics, series_table
+from repro.hardware.profiler import HardwareProfiler
+from repro.workloads.categories import urgent_mix
+from repro.workloads.generator import WorkloadGenerator
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--model", choices=sorted(MODEL_SETUPS), default="llama70b")
+    p.add_argument("--duration", type=float, default=45.0, help="trace length (s)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--trace", choices=("bursty", "steady", "phased"), default="bursty"
+    )
+    p.add_argument(
+        "--urgent-fraction",
+        type=float,
+        default=None,
+        help="category-1 share (default: the paper's 60/20/20 mix)",
+    )
+    p.add_argument("--slo-scale", type=float, default=1.0)
+
+
+def _build_workload(setup, args, rps: float):
+    gen = WorkloadGenerator(setup.target_roofline, seed=args.seed, slo_scale=args.slo_scale)
+    mix = urgent_mix(args.urgent_fraction) if args.urgent_fraction is not None else None
+    if args.trace == "bursty":
+        return gen.bursty(args.duration, rps, mix=mix)
+    if args.trace == "steady":
+        return gen.steady(args.duration, rps, mix=mix)
+    return gen.phased(args.duration, peak_rps=rps)
+
+
+def _cmd_run(args) -> int:
+    setup = build_setup(args.model, seed=args.seed)
+    requests = _build_workload(setup, args, args.rps)
+    report = run_once(setup, args.system, requests, max_sim_time_s=args.max_sim_time)
+    m = report.metrics
+    print(f"system: {report.scheduler_name}   model: {args.model}   requests: {m.num_requests}")
+    print(
+        f"attainment {m.attainment * 100:.1f}%   goodput {m.goodput:.0f} tok/s   "
+        f"throughput {m.throughput:.0f} tok/s   mean accepted/verify {m.mean_accepted_per_verify:.2f}"
+    )
+    rows = [
+        [cat, f"{cm.attainment * 100:.1f}%", f"{cm.mean_tpot_s * 1e3:.1f}", f"{cm.p99_tpot_s * 1e3:.1f}", str(cm.num_requests)]
+        for cat, cm in m.per_category.items()
+    ]
+    print(format_table(["category", "attainment", "mean TPOT ms", "p99 TPOT ms", "n"], rows))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    setup = build_setup(args.model, seed=args.seed)
+    points = []
+    for rps in args.rps:
+        requests = _build_workload(setup, args, rps)
+        for system in args.systems:
+            report = run_once(setup, system, requests, max_sim_time_s=args.max_sim_time)
+            points.append(point_from_metrics(rps, report.scheduler_name, report.metrics))
+            print(f"  done: rps={rps} {report.scheduler_name}", file=sys.stderr)
+    print("\nSLO attainment:")
+    print(series_table(points, value="attainment", x_label="RPS"))
+    print("\nGoodput (tokens/s):")
+    print(series_table(points, value="goodput", x_label="RPS"))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    setup = build_setup(args.model, seed=args.seed)
+    rl = setup.target_roofline
+    prof = HardwareProfiler(rl, slack=args.slack).profile()
+    dep = setup.target_deployment
+    print(f"deployment: {dep.model.name} on {dep.tensor_parallel} x {dep.gpu.name}")
+    print(f"baseline decode latency: {rl.baseline_decode_latency * 1e3:.2f} ms")
+    print(f"memory-bound floor:      {rl.memory_bound_floor * 1e3:.2f} ms")
+    print(f"saturation tokens:       {rl.saturation_tokens()}")
+    print(f"token budget B (slack {args.slack}): {prof.token_budget} "
+          f"(latency {prof.budget_latency_s * 1e3:.2f} ms, {prof.latency_ratio:.2f}x floor)")
+    print(f"KV capacity: {dep.kv_capacity_tokens} tokens")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="AdaServe reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="serve one workload with one system")
+    _add_workload_args(p_run)
+    p_run.add_argument("--system", choices=SYSTEM_NAMES, default="adaserve")
+    p_run.add_argument("--rps", type=float, default=4.0)
+    p_run.add_argument("--max-sim-time", type=float, default=1800.0)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="RPS sweep over systems")
+    _add_workload_args(p_sweep)
+    p_sweep.add_argument("--systems", nargs="+", choices=SYSTEM_NAMES, default=["adaserve", "vllm"])
+    p_sweep.add_argument("--rps", nargs="+", type=float, default=[2.6, 3.4, 4.2])
+    p_sweep.add_argument("--max-sim-time", type=float, default=1800.0)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_prof = sub.add_parser("profile", help="hardware profiling for a deployment")
+    p_prof.add_argument("--model", choices=sorted(MODEL_SETUPS), default="llama70b")
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--slack", type=float, default=1.5)
+    p_prof.set_defaults(func=_cmd_profile)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

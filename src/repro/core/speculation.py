@@ -1,0 +1,122 @@
+"""Speculation phase: beam-search construction of candidate token trees.
+
+§4.3 step 1: starting from each request's root token, the draft model runs
+``d`` decoding steps.  At each step every frontier node proposes its top
+continuations; the ``w`` highest approximated-path-probability candidates
+*across the whole frontier* survive and extend the candidate tree.  After
+``d`` steps the tree has depth at most ``d`` with at most ``w`` nodes per
+layer (the first layer is the root alone).
+
+Theorem 4.1 guarantees that a beam of width B and depth D(T_opt) covers
+the optimal tree, so the selection phases that follow never need tokens
+the beam did not propose (given sufficient d and w).
+
+Cost accounting: step 1 processes 1 token per request (the roots), steps
+2..d process ``w`` tokens per request, all batched across requests.  The
+returned :class:`SpeculationResult` carries these per-step token counts so
+the scheduler can price the phase with the draft roofline + CUDA graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tree import TokenTree, TreeNode
+from repro.model.pair import ModelPair
+
+
+@dataclass(frozen=True)
+class SpeculationResult:
+    """Candidate trees for a batch plus the cost-relevant step shape."""
+
+    trees: list[TokenTree]
+    depth: int
+    width: int
+    step_tokens: tuple[int, ...]  # tokens processed by the draft at each step
+
+    @property
+    def total_draft_tokens(self) -> int:
+        """Total tokens the draft model processed."""
+        return sum(self.step_tokens)
+
+
+def build_candidate_tree(
+    pair: ModelPair,
+    root_token: int,
+    root_ctx: int,
+    depth: int,
+    width: int,
+    center: float | None = None,
+) -> TokenTree:
+    """Beam-search a candidate tree for a single request.
+
+    Parameters
+    ----------
+    pair:
+        The draft/target model pair (only the draft is consulted).
+    root_token, root_ctx:
+        The request's last committed token and its context hash.
+    depth, width:
+        Beam depth d and width w.
+    center:
+        Optional per-request predictability center forwarded to the model.
+    """
+    if depth < 0 or width < 1:
+        raise ValueError(f"invalid beam shape: depth={depth}, width={width}")
+    tree = TokenTree(root_token, root_ctx)
+    frontier: list[TreeNode] = [tree.root]
+    for _ in range(depth):
+        # Gather candidate children across the frontier.
+        candidates: list[tuple[float, TreeNode, int, float]] = []
+        for node in frontier:
+            for token_id, prob in pair.draft_children(node.ctx_hash, width, center=center):
+                candidates.append((node.path_prob * prob, node, token_id, prob))
+        if not candidates:
+            break
+        candidates.sort(key=lambda c: c[0], reverse=True)
+        new_frontier: list[TreeNode] = []
+        for path_prob, parent, token_id, prob in candidates[:width]:
+            ctx = pair.extend(parent.ctx_hash, token_id)
+            new_frontier.append(tree.add_child(parent, token_id, ctx, prob))
+        frontier = new_frontier
+    return tree
+
+
+def speculate_batch(
+    pair: ModelPair,
+    roots: list[tuple[int, int]],
+    depth: int,
+    width: int,
+    centers: list[float | None] | None = None,
+) -> SpeculationResult:
+    """Run the speculation phase for a whole batch.
+
+    Parameters
+    ----------
+    roots:
+        One ``(root_token, root_ctx)`` per request.
+    depth, width:
+        Beam shape shared by the batch (chosen by the adaptive controller).
+    centers:
+        Optional per-request predictability centers.
+
+    Returns
+    -------
+    SpeculationResult with one candidate tree per request and the per-step
+    batched token counts: step 1 processes ``len(roots)`` root tokens;
+    each subsequent step processes ``width`` tokens per request.
+    """
+    n = len(roots)
+    if centers is None:
+        centers = [None] * n
+    elif len(centers) != n:
+        raise ValueError("centers length must match roots")
+    trees = [
+        build_candidate_tree(pair, tok, ctx, depth, width, center=c)
+        for (tok, ctx), c in zip(roots, centers)
+    ]
+    if depth == 0 or n == 0:
+        step_tokens: tuple[int, ...] = ()
+    else:
+        step_tokens = (n,) + tuple(n * width for _ in range(depth - 1))
+    return SpeculationResult(trees=trees, depth=depth, width=width, step_tokens=step_tokens)

@@ -1,0 +1,161 @@
+"""Hardware and model specifications for the roofline cost model.
+
+``GPUSpec`` captures the handful of device parameters the roofline needs;
+``ModelSpec`` captures the transformer dimensions that determine weight
+bytes, FLOPs per token and KV-cache bytes per token.  Presets cover the
+paper's evaluation hardware (A100-80G nodes) and models (Table 1), plus the
+draft models and a couple of extra devices for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU's roofline-relevant parameters.
+
+    Attributes
+    ----------
+    name: marketing name.
+    flops: dense half-precision throughput, FLOP/s.
+    mem_bandwidth: HBM bandwidth, bytes/s.
+    mem_bytes: device memory capacity, bytes.
+    kernel_launch_s: CPU-side launch latency per kernel, seconds.
+    nvlink_bandwidth: inter-GPU bandwidth for tensor-parallel collectives,
+        bytes/s (per direction).
+    """
+
+    name: str
+    flops: float
+    mem_bandwidth: float
+    mem_bytes: float
+    kernel_launch_s: float = 4.0e-6
+    nvlink_bandwidth: float = 300e9
+
+    def __post_init__(self) -> None:
+        if self.flops <= 0 or self.mem_bandwidth <= 0 or self.mem_bytes <= 0:
+            raise ValueError(f"invalid GPU spec: {self}")
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A transformer's roofline-relevant dimensions.
+
+    ``n_params`` is the total parameter count; per-token FLOPs are
+    approximated as ``2 * n_params`` (one multiply-accumulate per weight).
+    KV bytes per token follow from the attention geometry.
+    """
+
+    name: str
+    n_params: float
+    n_layers: int
+    hidden_size: int
+    n_heads: int
+    n_kv_heads: int
+    bytes_per_param: int = 2  # fp16/bf16 weights
+
+    def __post_init__(self) -> None:
+        if self.n_params <= 0 or self.n_layers <= 0:
+            raise ValueError(f"invalid model spec: {self}")
+        if self.hidden_size % self.n_heads != 0:
+            raise ValueError(f"hidden_size not divisible by n_heads: {self}")
+
+    @property
+    def head_dim(self) -> int:
+        """Dimension of each attention head."""
+        return self.hidden_size // self.n_heads
+
+    @property
+    def weight_bytes(self) -> float:
+        """Total bytes of model weights."""
+        return self.n_params * self.bytes_per_param
+
+    @property
+    def flops_per_token(self) -> float:
+        """Dense FLOPs to process one token (forward pass)."""
+        return 2.0 * self.n_params
+
+    @property
+    def kv_bytes_per_token(self) -> float:
+        """KV-cache bytes appended per token (K and V, fp16)."""
+        return 2 * self.n_layers * self.n_kv_heads * self.head_dim * 2
+
+
+GPU_PRESETS: dict[str, GPUSpec] = {
+    "a100-80g": GPUSpec("a100-80g", flops=312e12, mem_bandwidth=2.039e12, mem_bytes=80e9),
+    "h100-80g": GPUSpec("h100-80g", flops=989e12, mem_bandwidth=3.35e12, mem_bytes=80e9),
+    "l4-24g": GPUSpec("l4-24g", flops=121e12, mem_bandwidth=300e9, mem_bytes=24e9),
+}
+
+MODEL_PRESETS: dict[str, ModelSpec] = {
+    # Targets (Table 1).
+    "llama-3.1-70b": ModelSpec(
+        "llama-3.1-70b", n_params=70.6e9, n_layers=80,
+        hidden_size=8192, n_heads=64, n_kv_heads=8,
+    ),
+    "qwen2.5-32b": ModelSpec(
+        "qwen2.5-32b", n_params=32.8e9, n_layers=64,
+        hidden_size=5120, n_heads=40, n_kv_heads=8,
+    ),
+    # Drafts.
+    "llama-3.2-1b": ModelSpec(
+        "llama-3.2-1b", n_params=1.24e9, n_layers=16,
+        hidden_size=2048, n_heads=32, n_kv_heads=8,
+    ),
+    "qwen2.5-0.5b": ModelSpec(
+        "qwen2.5-0.5b", n_params=0.49e9, n_layers=24,
+        hidden_size=896, n_heads=14, n_kv_heads=2,
+    ),
+    # Extra for sensitivity studies.
+    "llama-3.1-8b": ModelSpec(
+        "llama-3.1-8b", n_params=8.0e9, n_layers=32,
+        hidden_size=4096, n_heads=32, n_kv_heads=8,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """A (model, GPU, tensor-parallel degree) placement — one Table 1 row."""
+
+    model: ModelSpec
+    gpu: GPUSpec
+    tensor_parallel: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tensor_parallel < 1:
+            raise ValueError("tensor_parallel must be >= 1")
+        if self.model.weight_bytes > self.gpu.mem_bytes * self.tensor_parallel:
+            raise ValueError(
+                f"{self.model.name} does not fit on {self.tensor_parallel}x {self.gpu.name}"
+            )
+
+    @property
+    def kv_capacity_bytes(self) -> float:
+        """Memory left for KV cache after weights and a 10% runtime reserve."""
+        total = self.gpu.mem_bytes * self.tensor_parallel
+        return max(0.0, total * 0.9 - self.model.weight_bytes)
+
+    @property
+    def kv_capacity_tokens(self) -> int:
+        """How many cached tokens fit in the KV budget."""
+        return int(self.kv_capacity_bytes / self.model.kv_bytes_per_token)
+
+
+#: Table 1 deployments (target model placements) and draft placements.
+DEPLOYMENT_PRESETS: dict[str, DeploymentSpec] = {
+    "llama70b-4xa100": DeploymentSpec(
+        MODEL_PRESETS["llama-3.1-70b"], GPU_PRESETS["a100-80g"], tensor_parallel=4
+    ),
+    "qwen32b-2xa100": DeploymentSpec(
+        MODEL_PRESETS["qwen2.5-32b"], GPU_PRESETS["a100-80g"], tensor_parallel=2
+    ),
+    "llama1b-1xa100": DeploymentSpec(
+        MODEL_PRESETS["llama-3.2-1b"], GPU_PRESETS["a100-80g"], tensor_parallel=1
+    ),
+    "qwen05b-1xa100": DeploymentSpec(
+        MODEL_PRESETS["qwen2.5-0.5b"], GPU_PRESETS["a100-80g"], tensor_parallel=1
+    ),
+}

@@ -1,0 +1,153 @@
+"""Verification semantics: how the target accepts speculated tokens.
+
+Implements the lossless acceptance rules used throughout the paper:
+
+- **Sequence verification** (vLLM-Spec-style): the draft proposes a chain
+  of tokens; the target accepts the longest prefix matching its own
+  emissions and contributes one correction token after the first mismatch
+  (or after the full chain) — so every verification step yields at least
+  one new token, which is why Algorithms 1/2 initialize ``n_acc = 1``.
+- **Tree verification** (SpecInfer/Sequoia-style): the draft proposes a
+  token tree; the target walks from the root, at each node emitting its
+  token and descending into the matching child if present.  The accepted
+  path plus the correction token is returned.
+
+Both functions are generic over any node object exposing ``token_id``,
+``ctx_hash`` and ``children`` (an iterable of nodes), so they serve the
+core library's :class:`~repro.core.tree.TokenTree` without a circular
+import.
+
+Also provides the Theorem 3.1 quantities: the true path probability
+``f(v)`` of a node and the expected number of accepted tokens of a tree,
+used by tests and by the optimal-construction ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence
+
+from repro.model.pair import ModelPair
+
+
+class VerifiableNode(Protocol):
+    """Structural interface for tree verification."""
+
+    token_id: int
+    ctx_hash: int
+
+    @property
+    def children(self) -> Iterable["VerifiableNode"]: ...
+
+
+def verify_sequence(
+    pair: ModelPair,
+    root_ctx: int,
+    draft_tokens: Sequence[int],
+    center: float | None = None,
+) -> tuple[int, int, int]:
+    """Verify a draft *chain* against the target.
+
+    Parameters
+    ----------
+    pair:
+        The coupled models.
+    root_ctx:
+        Context hash of the sequence so far (up to and including the last
+        committed token).
+    draft_tokens:
+        Speculated continuation, in order.
+
+    Returns
+    -------
+    (n_accepted, correction_token, new_ctx):
+        ``n_accepted`` draft tokens were accepted; ``correction_token`` is
+        the target's emission after the accepted prefix (always produced,
+        so the step generates ``n_accepted + 1`` tokens); ``new_ctx`` is
+        the context hash including the correction token.
+    """
+    ctx = root_ctx
+    accepted = 0
+    for tok in draft_tokens:
+        emitted = pair.target_sample(ctx, center)
+        if emitted != tok:
+            return accepted, emitted, pair.extend(ctx, emitted)
+        accepted += 1
+        ctx = pair.extend(ctx, tok)
+    emitted = pair.target_sample(ctx, center)
+    return accepted, emitted, pair.extend(ctx, emitted)
+
+
+def verify_tree(
+    pair: ModelPair, root: VerifiableNode, center: float | None = None
+) -> tuple[list[VerifiableNode], int, int]:
+    """Verify a draft token *tree* against the target.
+
+    The walk starts at ``root`` (the last committed token).  At each node
+    the target emits a token; if a child carries that token the walk
+    descends, otherwise it stops and the emission becomes the correction
+    token.
+
+    Returns
+    -------
+    (accepted_nodes, correction_token, new_ctx):
+        ``accepted_nodes`` is the accepted root-to-leaf path *excluding*
+        the root; ``new_ctx`` includes the correction token.
+    """
+    node = root
+    accepted: list[VerifiableNode] = []
+    while True:
+        emitted = pair.target_sample(node.ctx_hash, center)
+        nxt = None
+        for child in node.children:
+            if child.token_id == emitted:
+                nxt = child
+                break
+        if nxt is None:
+            return accepted, emitted, pair.extend(node.ctx_hash, emitted)
+        accepted.append(nxt)
+        node = nxt
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.1 quantities (ground truth, used in tests and ablations)
+# ----------------------------------------------------------------------
+def true_path_probability(
+    pair: ModelPair,
+    root_ctx: int,
+    path_tokens: Sequence[int],
+    center: float | None = None,
+) -> float:
+    """True f(v): probability the target accepts the whole path.
+
+    The product of the target's conditional probabilities along the path —
+    the quantity the draft's logits approximate (Equation 7).
+    """
+    ctx = root_ctx
+    prob = 1.0
+    for tok in path_tokens:
+        prob *= pair.accept_prob(ctx, tok, center)
+        if prob == 0.0:
+            return 0.0
+        ctx = pair.extend(ctx, tok)
+    return prob
+
+
+def expected_accepted_tokens(
+    pair: ModelPair, root: VerifiableNode, center: float | None = None
+) -> float:
+    """E[acc(T)] for a tree, via the Theorem 3.1 decomposition.
+
+    Sums the true path probability f(v) over all non-root nodes.  The
+    guaranteed correction token is *not* included (add 1 for tokens
+    generated per iteration).
+    """
+    total = 0.0
+    stack: list[tuple[VerifiableNode, float, int]] = [(root, 1.0, root.ctx_hash)]
+    while stack:
+        node, prob, ctx = stack.pop()
+        for child in node.children:
+            p = prob * pair.accept_prob(ctx, child.token_id, center)
+            total += p
+            if p > 0.0:
+                stack.append((child, p, pair.extend(ctx, child.token_id)))
+    return total

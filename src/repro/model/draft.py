@@ -1,0 +1,108 @@
+"""Synthetic draft (speculator) model.
+
+A draft model in speculative decoding is a small network whose next-token
+distribution approximates the target's — typically because it was distilled
+from it (the paper leans on this in §4.2 to justify using draft logits as
+surrogates for path probabilities f(v)).
+
+``DraftLM`` reproduces that relationship with a single *alignment* knob:
+
+    draft_probs = normalize(alignment * target_probs + (1 - alignment) * noise)
+
+- ``alignment = 1.0``: the draft is a perfect surrogate (distillation
+  limit); its path-probability estimates equal the true f(v).
+- ``alignment = 0.0``: the draft is uninformative noise over the same
+  support; speculation degenerates.
+
+The draft shares the target's truncated support.  This mirrors reality
+closely enough for the algorithms under study: what matters is that the
+*ranking and rough magnitude* of draft probabilities track true acceptance
+probabilities, with controllable estimation error.
+"""
+
+from __future__ import annotations
+
+from repro._rng import mix as _mix, uniforms
+from repro.model.stochastic_lm import StochasticLM, TokenDistribution
+
+_SALT_NOISE = 0x44_52  # ASCII "DR"
+
+
+class DraftLM:
+    """A speculator whose distribution is an alignment-mixture of the target's.
+
+    Parameters
+    ----------
+    target:
+        The target :class:`StochasticLM` this draft approximates.
+    alignment:
+        Mixture weight on the target distribution, in [0, 1].
+    """
+
+    def __init__(self, target: StochasticLM, alignment: float = 0.85) -> None:
+        if not 0.0 <= alignment <= 1.0:
+            raise ValueError(f"alignment must be in [0, 1], got {alignment}")
+        self.target = target
+        self.alignment = alignment
+        self._cache: dict[int, TokenDistribution] = {}
+        self._cache_cap = 200_000
+
+    @property
+    def vocab(self):
+        """The shared vocabulary."""
+        return self.target.vocab
+
+    def context_of(self, tokens) -> int:
+        """Context hash for a token sequence (shared with the target)."""
+        return self.target.context_of(tokens)
+
+    def extend(self, ctx: int, token_id: int) -> int:
+        """Context hash after appending one token (shared with the target)."""
+        return self.target.extend(ctx, token_id)
+
+    def distribution(self, ctx: int, center: float | None = None) -> TokenDistribution:
+        """Draft next-token distribution at a context (cached).
+
+        Shares the target's support; probabilities are re-sorted descending
+        so that ``token_ids[0]`` is the draft's top pick, which may differ
+        from the target's when alignment < 1.  ``center`` is forwarded to
+        the target (per-request predictability).
+        """
+        key = ctx if center is None else _mix(ctx, int(center * 1e6))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        tgt = self.target.distribution(ctx, center)
+        k = len(tgt.token_ids)
+        a = self.alignment
+        if a >= 1.0:
+            dist = tgt
+        else:
+            noise = uniforms(ctx, _SALT_NOISE, k)
+            noise_total = sum(noise)
+            mixed = [
+                a * p + (1.0 - a) * (n / noise_total)
+                for p, n in zip(tgt.probs, noise)
+            ]
+            total = sum(mixed)
+            pairs = sorted(
+                zip(tgt.token_ids, (m / total for m in mixed)),
+                key=lambda tp: tp[1],
+                reverse=True,
+            )
+            dist = TokenDistribution(
+                tuple(t for t, _ in pairs), tuple(p for _, p in pairs)
+            )
+        if len(self._cache) >= self._cache_cap:
+            self._cache.clear()
+        self._cache[key] = dist
+        return dist
+
+    def top_w(self, ctx: int, w: int, center: float | None = None) -> list[tuple[int, float]]:
+        """The draft's ``w`` most likely continuations as (token, prob) pairs."""
+        dist = self.distribution(ctx, center)
+        return list(zip(dist.token_ids[:w], dist.probs[:w]))
+
+    def clear_cache(self) -> None:
+        """Drop memoized distributions."""
+        self._cache.clear()

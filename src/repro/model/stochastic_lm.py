@@ -1,0 +1,205 @@
+"""Synthetic target language model.
+
+The paper's algorithms never look inside the LLM: they consume (a) a draft
+model's next-token probabilities and (b) accept/reject outcomes when the
+target model verifies speculated tokens.  ``StochasticLM`` supplies the
+target side of that contract as a seeded stochastic process:
+
+- For every *context* (a 64-bit rolling hash of the token sequence) the
+  model exposes a truncated next-token distribution over ``branching``
+  candidate tokens whose probabilities sum to exactly 1.  Truncation models
+  the fact that, conditioned on a prefix, only a handful of continuations
+  carry mass; it also makes sibling acceptance probabilities sum to 1,
+  matching Appendix A of the paper.
+- ``sample(ctx)`` returns the token the target model emits at that context.
+  It is a deterministic function of the context, exactly like greedy/seeded
+  decoding on a real model: re-verifying the same prefix always yields the
+  same token, which is what makes tree verification sound.
+
+The *predictability* knob controls how peaked distributions are, standing
+in for how guessable a domain's text is (code >> free-form prose).  Higher
+predictability yields higher top-1 mass and therefore higher speculative
+acceptance rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._rng import hash_seed, mix, splitmix64, uniform, uniforms
+from repro.model.vocab import Vocabulary
+
+# Salt namespaces; keep distinct so the same context hash yields independent
+# randomness for each purpose.
+_SALT_SHAPE = 0x51
+_SALT_TOKENS = 0x52
+_SALT_SAMPLE = 0x53
+
+#: Default number of candidate continuations carrying mass at each context.
+DEFAULT_BRANCHING = 8
+
+#: Bounds on the top-1 probability regardless of predictability, so that no
+#: context is perfectly predictable or perfectly flat.
+_TOP1_FLOOR = 0.05
+_TOP1_CEIL = 0.98
+
+
+@dataclass(frozen=True)
+class TokenDistribution:
+    """A truncated next-token distribution.
+
+    ``token_ids[i]`` occurs with probability ``probs[i]``; probabilities are
+    sorted in descending order and sum to 1 (the lumped tail outside the
+    truncation is folded into the listed candidates).
+    """
+
+    token_ids: tuple[int, ...]
+    probs: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.token_ids) != len(self.probs):
+            raise ValueError("token_ids and probs length mismatch")
+
+    def prob_of(self, token_id: int) -> float:
+        """Probability of ``token_id`` (0.0 if outside the truncation)."""
+        for tid, p in zip(self.token_ids, self.probs):
+            if tid == token_id:
+                return p
+        return 0.0
+
+    def top_token(self) -> int:
+        """The most likely continuation."""
+        return self.token_ids[0]
+
+
+class StochasticLM:
+    """Seeded synthetic target model over a vocabulary.
+
+    Parameters
+    ----------
+    vocab:
+        Token id space.
+    seed:
+        Global model seed; two models with the same seed are identical.
+    branching:
+        Number of candidate continuations per context.
+    predictability:
+        Mean top-1 probability in (0, 1).  Per-context top-1 mass is drawn
+        uniformly from ``predictability ± spread`` (clipped).
+    spread:
+        Half-width of the per-context top-1 jitter.
+    decay:
+        Geometric ratio splitting the non-top-1 mass across the remaining
+        candidates.
+    """
+
+    def __init__(
+        self,
+        vocab: Vocabulary,
+        seed: int = 0,
+        branching: int = DEFAULT_BRANCHING,
+        predictability: float = 0.7,
+        spread: float = 0.15,
+        decay: float = 0.6,
+    ) -> None:
+        if branching < 2:
+            raise ValueError("branching must be >= 2")
+        if not 0.0 < predictability < 1.0:
+            raise ValueError("predictability must be in (0, 1)")
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be in (0, 1)")
+        self.vocab = vocab
+        self.seed = seed
+        self.branching = branching
+        self.predictability = predictability
+        self.spread = spread
+        self.decay = decay
+        self._root = hash_seed(seed, 0x4C4D)  # ASCII "LM"
+        # Geometric weights for the non-top slots, precomputed and normalized.
+        weights = [decay**i for i in range(branching - 1)]
+        total = sum(weights)
+        self._tail_weights = [w / total for w in weights]
+        self._cache: dict[int, TokenDistribution] = {}
+        self._cache_cap = 200_000
+
+    # ------------------------------------------------------------------
+    # Context handling
+    # ------------------------------------------------------------------
+    def context_of(self, tokens: list[int] | tuple[int, ...]) -> int:
+        """Fold a token sequence into a context hash."""
+        h = self._root
+        for t in tokens:
+            h = mix(h, t)
+        return h
+
+    def extend(self, ctx: int, token_id: int) -> int:
+        """Context hash after appending one token."""
+        return mix(ctx, token_id)
+
+    # ------------------------------------------------------------------
+    # Distributions and sampling
+    # ------------------------------------------------------------------
+    def distribution(self, ctx: int, center: float | None = None) -> TokenDistribution:
+        """Next-token distribution at a context (cached).
+
+        ``center`` overrides the model-level predictability for this
+        context; workloads use it to make, e.g., code more guessable than
+        prose for the same underlying model.
+        """
+        key = ctx if center is None else mix(ctx, int(center * 1e6))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        dist = self._generate(ctx, self.predictability if center is None else center)
+        if len(self._cache) >= self._cache_cap:
+            self._cache.clear()
+        self._cache[key] = dist
+        return dist
+
+    def _generate(self, ctx: int, center: float) -> TokenDistribution:
+        k = self.branching
+        u = uniform(ctx, _SALT_SHAPE)
+        top1 = center + self.spread * (2.0 * u - 1.0)
+        if top1 < _TOP1_FLOOR:
+            top1 = _TOP1_FLOOR
+        elif top1 > _TOP1_CEIL:
+            top1 = _TOP1_CEIL
+        tail_mass = 1.0 - top1
+        probs = [top1] + [tail_mass * w for w in self._tail_weights]
+
+        # Draw k distinct regular token ids.
+        n_regular = self.vocab.num_regular
+        ids: list[int] = []
+        seen: set[int] = set()
+        i = 0
+        while len(ids) < k:
+            tid = splitmix64((ctx ^ ((_SALT_TOKENS + i) * 0x2545F4914F6CDD1D)) & ((1 << 64) - 1)) % n_regular
+            if tid not in seen:
+                seen.add(tid)
+                ids.append(tid)
+            i += 1
+        return TokenDistribution(tuple(ids), tuple(probs))
+
+    def sample(self, ctx: int, center: float | None = None) -> int:
+        """The token the target emits at this context (deterministic)."""
+        dist = self.distribution(ctx, center)
+        u = uniform(ctx, _SALT_SAMPLE)
+        acc = 0.0
+        for tid, p in zip(dist.token_ids, dist.probs):
+            acc += p
+            if u < acc:
+                return tid
+        return dist.token_ids[-1]
+
+    def greedy(self, ctx: int, center: float | None = None) -> int:
+        """The argmax continuation at this context."""
+        return self.distribution(ctx, center).top_token()
+
+    def clear_cache(self) -> None:
+        """Drop memoized distributions (for memory-bounded long runs)."""
+        self._cache.clear()
+
+
+def uniforms_for_noise(ctx: int, salt: int, n: int) -> list[float]:
+    """Expose the raw uniform stream for draft-noise construction."""
+    return uniforms(ctx, salt, n)

@@ -1,0 +1,274 @@
+"""Simulated execution engine.
+
+Plays the role of the paper's execution engine (Figure 6): it owns the
+model pair, the target/draft roofline models, the draft-side CUDA-graph
+state and the KV-cache manager, and it prices + executes the primitive
+GPU operations every scheduler is composed of:
+
+- ``prefill(chunks, now)``: process prompt chunks (possibly batched with
+  nothing else — co-batching is priced via ``verify_cost`` extras);
+- ``decode(requests, now)``: one autoregressive token per request;
+- ``draft_cost(step_tokens)``: price a batched draft beam (CUDA-graph
+  replays for shape-stable steps 2..d);
+- ``verify_cost(tokens, context)``: price target verification of a batch
+  of speculated tokens;
+- ``commit token`` side effects live on :class:`Request`.
+
+The engine never decides *what* to run — that is scheduler policy.  It
+accumulates per-phase busy time for the Figure 15 breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._rng import hash_seed
+from repro.hardware.cuda_graph import CudaGraphModel
+from repro.hardware.roofline import RooflineModel
+from repro.model.pair import ModelPair
+from repro.serving.kv_cache import KVCacheManager
+from repro.serving.request import Request, RequestState
+
+#: Fixed CPU-side overhead per engine step (batch formation, tensor
+#: bookkeeping) added to every iteration, seconds.
+DEFAULT_STEP_OVERHEAD_S = 100e-6
+
+
+@dataclass
+class PhaseTimes:
+    """Cumulative busy time per phase (Figure 15)."""
+
+    prefill_s: float = 0.0
+    decode_s: float = 0.0
+    speculation_s: float = 0.0
+    verification_s: float = 0.0
+    scheduling_s: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total accounted busy time."""
+        return (
+            self.prefill_s
+            + self.decode_s
+            + self.speculation_s
+            + self.verification_s
+            + self.scheduling_s
+        )
+
+    def breakdown(self) -> dict[str, float]:
+        """Fractions per phase (empty if nothing ran)."""
+        total = self.total
+        if total == 0:
+            return {}
+        return {
+            "prefill": self.prefill_s / total,
+            "decode": self.decode_s / total,
+            "speculation": self.speculation_s / total,
+            "verification": self.verification_s / total,
+            "scheduling": self.scheduling_s / total,
+        }
+
+
+class SimulatedEngine:
+    """Executes engine primitives against the cost model and model pair.
+
+    Parameters
+    ----------
+    pair:
+        Draft/target model pair.
+    target_roofline, draft_roofline:
+        Cost models for the two networks.
+    kv:
+        KV-cache manager (target model's cache).
+    step_overhead_s:
+        Constant CPU overhead added to every iteration.
+    seed:
+        Seed for synthesizing request root contexts.
+    """
+
+    def __init__(
+        self,
+        pair: ModelPair,
+        target_roofline: RooflineModel,
+        draft_roofline: RooflineModel,
+        kv: KVCacheManager,
+        step_overhead_s: float = DEFAULT_STEP_OVERHEAD_S,
+        seed: int = 0,
+    ) -> None:
+        self.pair = pair
+        self.target_roofline = target_roofline
+        self.draft_roofline = draft_roofline
+        self.kv = kv
+        self.step_overhead_s = step_overhead_s
+        self.seed = seed
+        self.draft_graphs = CudaGraphModel(
+            eager_launch_s=draft_roofline.forward_cost(1).launch_time
+        )
+        self.phase_times = PhaseTimes()
+        self.iterations = 0
+        #: Optional per-iteration log (see repro.serving.telemetry).
+        self.telemetry = None
+
+    # ------------------------------------------------------------------
+    # Context synthesis
+    # ------------------------------------------------------------------
+    def root_ctx(self, req: Request) -> int:
+        """Model context hash of a request's full prompt."""
+        return hash_seed(self.seed, req.rid, req.prompt_len)
+
+    # ------------------------------------------------------------------
+    # Prefill
+    # ------------------------------------------------------------------
+    def prefill(self, chunks: list[tuple[Request, int]], now: float) -> float:
+        """Process prompt chunks for one iteration; returns latency.
+
+        Each ``(request, tokens)`` advances that request's prefill.  A
+        request whose prompt completes transitions to RUNNING with its
+        context installed (``begin_decode`` stamped at iteration end).
+        """
+        if not chunks:
+            raise ValueError("empty prefill batch")
+        total_tokens = 0
+        total_context = 0
+        for req, tokens in chunks:
+            total_tokens += tokens
+            total_context += req.prefilled + tokens // 2
+        latency = self.target_roofline.forward_latency(total_tokens, total_context)
+        latency += self.step_overhead_s
+        end = now + latency
+        for req, tokens in chunks:
+            req.advance_prefill(tokens)
+            if req.remaining_prompt == 0:
+                req.begin_decode(self.root_ctx(req), end)
+        self.phase_times.prefill_s += latency
+        self.iterations += 1
+        return latency
+
+    def prefill_chunk_cost(self, tokens: int, context_tokens: int = 0) -> float:
+        """Marginal compute seconds of co-batching a prefill chunk."""
+        return tokens * self.target_roofline.compute_seconds_per_token
+
+    # ------------------------------------------------------------------
+    # Plain autoregressive decode
+    # ------------------------------------------------------------------
+    def decode(self, requests: list[Request], now: float) -> float:
+        """One autoregressive decoding iteration; returns latency."""
+        if not requests:
+            raise ValueError("empty decode batch")
+        context = sum(r.kv_tokens for r in requests)
+        latency = self.target_roofline.forward_latency(len(requests), context)
+        latency += self.step_overhead_s
+        end = now + latency
+        for req in requests:
+            tok = self.pair.target_sample(req.ctx, req.predictability)
+            new_ctx = self.pair.extend(req.ctx, tok)
+            req.commit_tokens(1, new_ctx, end)
+        self.phase_times.decode_s += latency
+        self.iterations += 1
+        return latency
+
+    def mixed_step(
+        self,
+        decode_requests: list[Request],
+        prefill_chunks: list[tuple[Request, int]],
+        now: float,
+    ) -> float:
+        """One co-batched iteration: decode tokens + prefill chunks.
+
+        This is Sarathi-Serve's chunked-prefill step: decodes piggyback on
+        prompt-chunk compute.  Latency is a single forward pass over all
+        batched tokens; busy time is split between the prefill and decode
+        phases in proportion to their token counts.
+        """
+        if not decode_requests and not prefill_chunks:
+            raise ValueError("empty mixed step")
+        decode_tokens = len(decode_requests)
+        chunk_tokens = sum(t for _, t in prefill_chunks)
+        context = sum(r.kv_tokens for r in decode_requests)
+        context += sum(req.prefilled + t // 2 for req, t in prefill_chunks)
+        latency = self.target_roofline.forward_latency(
+            decode_tokens + chunk_tokens, context
+        )
+        latency += self.step_overhead_s
+        end = now + latency
+        for req in decode_requests:
+            tok = self.pair.target_sample(req.ctx, req.predictability)
+            req.commit_tokens(1, self.pair.extend(req.ctx, tok), end)
+        for req, tokens in prefill_chunks:
+            req.advance_prefill(tokens)
+            if req.remaining_prompt == 0:
+                req.begin_decode(self.root_ctx(req), end)
+        total = decode_tokens + chunk_tokens
+        self.phase_times.decode_s += latency * (decode_tokens / total)
+        self.phase_times.prefill_s += latency * (chunk_tokens / total)
+        self.iterations += 1
+        return latency
+
+    # ------------------------------------------------------------------
+    # Speculative decoding cost primitives
+    # ------------------------------------------------------------------
+    def draft_cost(self, step_tokens: tuple[int, ...], context_tokens: int = 0) -> float:
+        """Latency of a batched draft beam (speculation phase).
+
+        Step 1 launches eagerly (its shape includes fresh contexts); steps
+        2..d replay CUDA graphs when their shapes are warm (§5.2).
+        """
+        total = 0.0
+        for i, tokens in enumerate(step_tokens):
+            if tokens <= 0:
+                continue
+            if i == 0:
+                overhead = None  # eager launch
+            else:
+                overhead = self.draft_graphs.launch_overhead(tokens)
+            total += self.draft_roofline.forward_latency(
+                tokens, context_tokens, launch_overhead=overhead
+            )
+        self.phase_times.speculation_s += total
+        return total
+
+    def sequence_draft_cost(self, steps: int, batch: int, context_tokens: int = 0) -> float:
+        """Latency of ``steps`` sequential draft decodes over ``batch`` requests.
+
+        Used by vLLM-Spec-style baselines (chain speculation).
+        """
+        return self.draft_cost(tuple(batch for _ in range(steps)), context_tokens)
+
+    def verify_cost(
+        self,
+        speculated_tokens: int,
+        context_tokens: int = 0,
+        extra_prefill_tokens: int = 0,
+    ) -> float:
+        """Latency of target verification over a batch of token trees.
+
+        ``extra_prefill_tokens`` prices co-batched prompt chunks (AdaServe
+        folds prefill work into verification iterations).
+        """
+        total = speculated_tokens + extra_prefill_tokens
+        latency = self.target_roofline.forward_latency(total, context_tokens)
+        if total > 0:
+            self.phase_times.verification_s += latency * (speculated_tokens / total)
+            self.phase_times.prefill_s += latency * (extra_prefill_tokens / total)
+        else:
+            self.phase_times.verification_s += latency
+        return latency
+
+    def account_scheduling(self, seconds: float) -> None:
+        """Accumulate CPU-side scheduling time (Figure 15)."""
+        self.phase_times.scheduling_s += seconds
+
+    # ------------------------------------------------------------------
+    # Lifecycle helpers
+    # ------------------------------------------------------------------
+    def finish(self, req: Request) -> None:
+        """Release a finished request's KV."""
+        if req.state != RequestState.FINISHED:
+            raise ValueError(f"request {req.rid} not finished")
+        self.kv.free(req.rid)
+
+    def preempt(self, req: Request, drop_kv: bool) -> None:
+        """Preempt a request, optionally evicting its KV."""
+        req.preempt(drop_kv)
+        if drop_kv:
+            self.kv.free(req.rid)

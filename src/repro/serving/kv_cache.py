@@ -1,0 +1,122 @@
+"""Paged KV-cache manager (vLLM-style block allocation).
+
+KV memory is organized in fixed-size blocks; each request owns enough
+blocks to cover its resident tokens (prompt + generated + transient
+speculative tokens).  Schedulers grow a request's allocation before
+running it and free everything when it finishes or is preempted with KV
+dropped.
+
+The manager enforces the capacity invariant (never over-allocates) and
+exposes occupancy for admission-control decisions.  Capacity defaults come
+from the deployment spec: device memory minus weights and reserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DEFAULT_BLOCK_SIZE = 16
+
+
+class OutOfKVCache(Exception):
+    """Raised when an allocation cannot be satisfied."""
+
+
+@dataclass(frozen=True)
+class KVStats:
+    """Occupancy snapshot."""
+
+    total_blocks: int
+    used_blocks: int
+    num_requests: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of blocks allocated."""
+        return self.used_blocks / self.total_blocks if self.total_blocks else 0.0
+
+
+class KVCacheManager:
+    """Block-granular KV-cache accounting.
+
+    Parameters
+    ----------
+    capacity_tokens:
+        Total tokens the cache can hold (from
+        ``DeploymentSpec.kv_capacity_tokens``).
+    block_size:
+        Tokens per block.
+    """
+
+    def __init__(self, capacity_tokens: int, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if capacity_tokens < block_size:
+            raise ValueError("capacity smaller than one block")
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self.block_size = block_size
+        self.total_blocks = capacity_tokens // block_size
+        self._allocated: dict[int, int] = {}  # rid -> blocks
+        self._used = 0
+
+    # ------------------------------------------------------------------
+    def blocks_for(self, tokens: int) -> int:
+        """Blocks needed to hold ``tokens``."""
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        return -(-tokens // self.block_size)  # ceil division
+
+    @property
+    def used_blocks(self) -> int:
+        """Blocks currently allocated."""
+        return self._used
+
+    @property
+    def free_blocks(self) -> int:
+        """Blocks available."""
+        return self.total_blocks - self._used
+
+    def holds(self, rid: int) -> bool:
+        """Whether the request has any allocation."""
+        return rid in self._allocated
+
+    def allocation(self, rid: int) -> int:
+        """Blocks currently held by ``rid`` (0 if none)."""
+        return self._allocated.get(rid, 0)
+
+    # ------------------------------------------------------------------
+    def can_fit(self, rid: int, tokens: int) -> bool:
+        """Whether ``ensure(rid, tokens)`` would succeed."""
+        need = self.blocks_for(tokens) - self.allocation(rid)
+        return need <= self.free_blocks
+
+    def ensure(self, rid: int, tokens: int) -> None:
+        """Grow ``rid``'s allocation to cover ``tokens`` resident tokens.
+
+        Raises :class:`OutOfKVCache` when capacity is insufficient; the
+        caller decides whether to queue or preempt.
+        """
+        target = self.blocks_for(tokens)
+        have = self._allocated.get(rid, 0)
+        if target <= have:
+            return
+        need = target - have
+        if need > self.free_blocks:
+            raise OutOfKVCache(
+                f"request {rid} needs {need} blocks, only {self.free_blocks} free"
+            )
+        self._allocated[rid] = target
+        self._used += need
+
+    def free(self, rid: int) -> int:
+        """Release all blocks held by ``rid``; returns the count freed."""
+        blocks = self._allocated.pop(rid, 0)
+        self._used -= blocks
+        return blocks
+
+    def stats(self) -> KVStats:
+        """Occupancy snapshot."""
+        return KVStats(
+            total_blocks=self.total_blocks,
+            used_blocks=self._used,
+            num_requests=len(self._allocated),
+        )

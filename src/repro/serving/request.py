@@ -1,0 +1,204 @@
+"""Request lifecycle and per-request accounting.
+
+A request arrives with a prompt, an output-length target and a TPOT SLO
+(Table 2 category).  It moves through:
+
+    QUEUED -> PREFILLING -> RUNNING -> FINISHED
+                  ^             |
+                  +- PREEMPTED <+      (preemptive baselines / KV pressure)
+
+Timing follows the paper's accounting: ``decode_start`` is stamped when
+the request's first decoding iteration begins (prefill complete); the SLO
+is attained iff the *average* per-token latency
+``(last_token_time - decode_start) / n_generated`` is within the TPOT
+threshold.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class RequestState(enum.Enum):
+    """Lifecycle states."""
+
+    QUEUED = "queued"
+    PREFILLING = "prefilling"
+    RUNNING = "running"
+    PREEMPTED = "preempted"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One inference request and its runtime accounting.
+
+    Static fields describe the workload item; mutable fields are advanced
+    by schedulers through the helper methods (not directly).
+    """
+
+    rid: int
+    category: str
+    arrival_time: float
+    prompt_len: int
+    max_new_tokens: int
+    tpot_slo: float
+    predictability: float | None = None
+    priority: int = 0  # lower value = more urgent (used by priority baselines)
+
+    # -- runtime state (managed via helpers) --
+    state: RequestState = RequestState.QUEUED
+    prefilled: int = 0
+    ctx: int = 0  # model context hash, valid once prefill completes
+    n_generated: int = 0
+    decode_start: float | None = None
+    first_token_time: float | None = None
+    last_token_time: float | None = None
+    finish_time: float | None = None
+    preempt_count: int = 0
+    # Speculation accounting (for Figure 12).
+    verify_steps: int = 0
+    accepted_draft_tokens: int = 0
+    token_times: list[float] = field(default_factory=list)
+    record_token_times: bool = False
+
+    def __post_init__(self) -> None:
+        if self.prompt_len < 1:
+            raise ValueError(f"request {self.rid}: prompt_len must be >= 1")
+        if self.max_new_tokens < 1:
+            raise ValueError(f"request {self.rid}: max_new_tokens must be >= 1")
+        if self.tpot_slo <= 0:
+            raise ValueError(f"request {self.rid}: tpot_slo must be positive")
+
+    # ------------------------------------------------------------------
+    # Prefill
+    # ------------------------------------------------------------------
+    @property
+    def remaining_prompt(self) -> int:
+        """Prompt tokens not yet prefilled."""
+        return self.prompt_len - self.prefilled
+
+    def advance_prefill(self, tokens: int) -> None:
+        """Account ``tokens`` of prompt processed (chunked prefill)."""
+        if tokens < 1:
+            raise ValueError("prefill chunk must be >= 1 token")
+        if tokens > self.remaining_prompt:
+            raise ValueError(
+                f"request {self.rid}: chunk {tokens} exceeds remaining prompt {self.remaining_prompt}"
+            )
+        self.prefilled += tokens
+        self.state = (
+            RequestState.PREFILLING if self.prefilled < self.prompt_len else self.state
+        )
+
+    def begin_decode(self, ctx: int, now: float) -> None:
+        """Mark prefill complete and start the decode phase."""
+        if self.prefilled != self.prompt_len:
+            raise ValueError(f"request {self.rid}: prefill incomplete")
+        self.ctx = ctx
+        self.state = RequestState.RUNNING
+        if self.decode_start is None:
+            self.decode_start = now
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    @property
+    def remaining_tokens(self) -> int:
+        """Output tokens still to generate."""
+        return self.max_new_tokens - self.n_generated
+
+    @property
+    def is_finished(self) -> bool:
+        """Whether generation completed."""
+        return self.state == RequestState.FINISHED
+
+    def commit_tokens(self, count: int, new_ctx: int, now: float) -> None:
+        """Commit ``count`` generated tokens at time ``now``."""
+        if self.state != RequestState.RUNNING:
+            raise ValueError(f"request {self.rid}: commit while {self.state}")
+        if count < 1:
+            raise ValueError("must commit at least one token")
+        if count > self.remaining_tokens:
+            raise ValueError(
+                f"request {self.rid}: commit {count} exceeds remaining {self.remaining_tokens}"
+            )
+        self.ctx = new_ctx
+        self.n_generated += count
+        if self.first_token_time is None:
+            self.first_token_time = now
+        self.last_token_time = now
+        if self.record_token_times:
+            self.token_times.extend([now] * count)
+        if self.n_generated >= self.max_new_tokens:
+            self.state = RequestState.FINISHED
+            self.finish_time = now
+
+    def preempt(self, drop_kv: bool) -> None:
+        """Pause the request; optionally drop its KV (forces re-prefill)."""
+        if self.state not in (RequestState.RUNNING, RequestState.PREFILLING):
+            raise ValueError(f"request {self.rid}: preempt while {self.state}")
+        self.state = RequestState.PREEMPTED
+        self.preempt_count += 1
+        if drop_kv:
+            self.prefilled = 0
+
+    def resume(self) -> None:
+        """Return a preempted request to the running state (KV retained)."""
+        if self.state != RequestState.PREEMPTED:
+            raise ValueError(f"request {self.rid}: resume while {self.state}")
+        if self.prefilled < self.prompt_len:
+            self.state = RequestState.QUEUED
+        else:
+            self.state = RequestState.RUNNING
+
+    # ------------------------------------------------------------------
+    # SLO accounting
+    # ------------------------------------------------------------------
+    @property
+    def kv_tokens(self) -> int:
+        """Tokens resident in the KV cache for this request."""
+        return self.prefilled + self.n_generated
+
+    @property
+    def elapsed_decode(self) -> float | None:
+        """Decode-phase duration so far (None before decode starts)."""
+        if self.decode_start is None or self.last_token_time is None:
+            return None
+        return self.last_token_time - self.decode_start
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token (arrival to first committed token).
+
+        Not part of the paper's SLOs (which are TPOT-only) but reported
+        alongside them, as real deployments track both.
+        """
+        if self.first_token_time is None:
+            return float("inf")
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def avg_tpot(self) -> float:
+        """Average per-token latency over the decode phase."""
+        if self.n_generated == 0 or self.decode_start is None or self.last_token_time is None:
+            return float("inf")
+        return (self.last_token_time - self.decode_start) / self.n_generated
+
+    @property
+    def attained(self) -> bool:
+        """Whether the request met its TPOT SLO (finished requests only)."""
+        return self.is_finished and self.avg_tpot <= self.tpot_slo
+
+    def requirement(self, now: float, iteration_latency: float) -> float:
+        """A(r): accepted tokens needed this iteration (Equation 2 rewrite)."""
+        start = self.decode_start if self.decode_start is not None else now
+        elapsed = max(0.0, now - start)
+        return (elapsed + iteration_latency) / self.tpot_slo - self.n_generated
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Request(rid={self.rid}, cat={self.category}, state={self.state.value}, "
+            f"gen={self.n_generated}/{self.max_new_tokens})"
+        )

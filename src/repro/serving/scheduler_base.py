@@ -1,0 +1,197 @@
+"""Scheduler interface and shared policy machinery.
+
+A scheduler owns the request pool and decides, iteration by iteration,
+what the engine executes.  The simulator drives it through two calls:
+``admit`` (a request arrived) and ``step`` (run one iteration, return its
+latency).  Everything else — batching, prefill policy, preemption,
+speculation — is the policy under evaluation.
+
+The base class provides the machinery every policy shares:
+
+- pool bookkeeping (waiting / running / finished);
+- FCFS prefill iterations under a token budget, with KV admission
+  control;
+- retirement of finished requests (KV release);
+- KV-pressure preemption (evict the newest-arrival victim, drop its KV,
+  re-queue for recomputation — vLLM's recompute-on-preempt strategy).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+
+from repro.serving.engine import SimulatedEngine
+from repro.serving.kv_cache import OutOfKVCache
+from repro.serving.request import Request, RequestState
+
+#: Max sequences decoded per iteration (vLLM's ``max_num_seqs`` analog).
+DEFAULT_MAX_BATCH = 64
+
+#: Max prompt tokens processed per prefill iteration
+#: (vLLM's ``max_num_batched_tokens`` analog).
+DEFAULT_PREFILL_BUDGET = 2048
+
+
+class Scheduler(abc.ABC):
+    """Base class for serving policies."""
+
+    #: Display name used in result tables.
+    name: str = "base"
+
+    def __init__(
+        self,
+        engine: SimulatedEngine,
+        max_batch_size: int = DEFAULT_MAX_BATCH,
+        prefill_token_budget: int = DEFAULT_PREFILL_BUDGET,
+    ) -> None:
+        if max_batch_size < 1 or prefill_token_budget < 1:
+            raise ValueError("batch size and prefill budget must be >= 1")
+        self.engine = engine
+        self.max_batch_size = max_batch_size
+        self.prefill_token_budget = prefill_token_budget
+        self.waiting: deque[Request] = deque()
+        self.running: list[Request] = []
+        self.finished: list[Request] = []
+
+    # ------------------------------------------------------------------
+    # Simulator-facing interface
+    # ------------------------------------------------------------------
+    def admit(self, req: Request) -> None:
+        """A request arrived; queue it."""
+        self.waiting.append(req)
+
+    def has_work(self) -> bool:
+        """Whether an iteration can make progress.
+
+        Finished requests may linger in ``running`` until the next step's
+        retirement pass; they do not constitute work.
+        """
+        return bool(self.waiting) or any(not r.is_finished for r in self.running)
+
+    @abc.abstractmethod
+    def step(self, now: float) -> float:
+        """Run one iteration starting at ``now``; return its latency."""
+
+    def finalize(self) -> None:
+        """Retire any requests that finished in the last iteration.
+
+        Called by the simulator after the pool drains; without it, KV
+        blocks of requests completing in the final step would linger.
+        """
+        self._retire_finished()
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+    def all_requests(self) -> list[Request]:
+        """Every request the scheduler has seen (for metrics)."""
+        return list(self.finished) + list(self.running) + list(self.waiting)
+
+    def _retire_finished(self) -> None:
+        """Move finished requests out of the running set, freeing KV."""
+        still_running: list[Request] = []
+        for req in self.running:
+            if req.is_finished:
+                self.engine.finish(req)
+                self.finished.append(req)
+            else:
+                still_running.append(req)
+        self.running = still_running
+
+    def _admit_capacity(self) -> int:
+        """Decode slots available for newly prefilled requests."""
+        return self.max_batch_size - len(self.running)
+
+    def _take_prefill_batch(self) -> list[tuple[Request, int]]:
+        """FCFS full-prompt prefill batch under the token budget.
+
+        Takes whole prompts only (chunking policies override).  Always
+        takes at least one request if any fits KV, so long prompts are not
+        starved by the token budget.
+        """
+        batch: list[tuple[Request, int]] = []
+        budget = self.prefill_token_budget
+        slots = self._admit_capacity()
+        while self.waiting and slots > 0:
+            req = self.waiting[0]
+            if batch and req.remaining_prompt > budget:
+                break
+            if not self._allocate_or_requeue(req):
+                break
+            self.waiting.popleft()
+            batch.append((req, req.remaining_prompt))
+            budget -= req.remaining_prompt
+            slots -= 1
+            if budget <= 0:
+                break
+        return batch
+
+    def _allocate_or_requeue(self, req: Request) -> bool:
+        """Reserve KV for a request's prompt + one block of generation."""
+        try:
+            self.engine.kv.ensure(req.rid, req.prompt_len + self.engine.kv.block_size)
+        except OutOfKVCache:
+            return False
+        return True
+
+    def _prefill_iteration(self, now: float) -> float | None:
+        """Run one dedicated prefill iteration if any prompt is admissible.
+
+        Returns the iteration latency, or ``None`` when nothing could be
+        prefetched (empty queue or KV exhausted).
+        """
+        batch = self._take_prefill_batch()
+        if not batch:
+            return None
+        latency = self.engine.prefill(batch, now)
+        for req, _ in batch:
+            if req.state == RequestState.RUNNING:
+                self.running.append(req)
+            else:
+                # Partially prefilled (chunked policies) — stays queued.
+                self.waiting.appendleft(req)
+        return latency
+
+    def _ensure_kv_for_decode(self, batch: list[Request], extra_tokens: int = 1) -> list[Request]:
+        """Grow KV for a decode batch, preempting on pressure.
+
+        Victims (newest arrivals first) are evicted with KV dropped and
+        re-queued for recomputation.  Returns the surviving batch.
+        """
+        survivors = list(batch)
+        for req in list(survivors):
+            if req not in survivors:
+                continue  # already evicted as somebody's victim
+            while True:
+                try:
+                    self.engine.kv.ensure(req.rid, req.kv_tokens + extra_tokens)
+                    break
+                except OutOfKVCache:
+                    victim = self._pick_preemption_victim(survivors, req)
+                    if victim is None:
+                        survivors.remove(req)
+                        break
+                    self.engine.preempt(victim, drop_kv=True)
+                    survivors.remove(victim)
+                    if victim in self.running:
+                        self.running.remove(victim)
+                    self.waiting.appendleft(victim)
+                    if victim is req:
+                        break
+        return survivors
+
+    def _pick_preemption_victim(
+        self, batch: list[Request], needy: Request
+    ) -> Request | None:
+        """Choose a request to evict under KV pressure (newest arrival)."""
+        candidates = [r for r in batch if r is not needy]
+        if not candidates:
+            return needy if needy in batch else None
+        return max(candidates, key=lambda r: r.arrival_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(waiting={len(self.waiting)}, "
+            f"running={len(self.running)}, finished={len(self.finished)})"
+        )

@@ -1,0 +1,122 @@
+"""Top-level serving simulator.
+
+Drives a scheduler over an arrival trace: admit requests whose timestamps
+have passed, run scheduler iterations, advance the simulated clock by each
+iteration's modeled latency, and collect metrics when the pool drains.
+
+The loop is iteration-driven rather than event-driven: GPU serving systems
+execute one batch step at a time, and every interesting event (token
+commit, prefill completion) happens at an iteration boundary.  Arrivals
+between boundaries are admitted at the next boundary, exactly as a real
+engine's waiting queue behaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.clock import ArrivalStream, SimClock
+from repro.serving.engine import SimulatedEngine
+from repro.serving.metrics import RunMetrics, compute_metrics
+from repro.serving.request import Request
+from repro.serving.scheduler_base import Scheduler
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Outcome of one simulated run."""
+
+    scheduler_name: str
+    metrics: RunMetrics
+    sim_time_s: float
+    iterations: int
+    phase_breakdown: dict[str, float]
+    requests: list[Request]
+
+    @property
+    def attainment(self) -> float:
+        """SLO attainment (convenience passthrough)."""
+        return self.metrics.attainment
+
+    @property
+    def goodput(self) -> float:
+        """Goodput in tokens/s (convenience passthrough)."""
+        return self.metrics.goodput
+
+
+class ServingSimulator:
+    """Simulate one scheduler over one workload trace.
+
+    Parameters
+    ----------
+    engine:
+        The simulated execution engine (fresh per run).
+    scheduler:
+        The policy under test (fresh per run, wrapping ``engine``).
+    requests:
+        The workload; arrival times are absolute seconds.
+    max_sim_time_s:
+        Safety horizon; the run aborts (with unfinished requests counted
+        as violations) if simulated time exceeds it.
+    max_iterations:
+        Safety cap on scheduler iterations.
+    """
+
+    def __init__(
+        self,
+        engine: SimulatedEngine,
+        scheduler: Scheduler,
+        requests: list[Request],
+        max_sim_time_s: float = 7200.0,
+        max_iterations: int = 2_000_000,
+    ) -> None:
+        if scheduler.engine is not engine:
+            raise ValueError("scheduler must wrap the provided engine")
+        self.engine = engine
+        self.scheduler = scheduler
+        self.requests = list(requests)
+        self.max_sim_time_s = max_sim_time_s
+        self.max_iterations = max_iterations
+
+    def run(self) -> SimulationReport:
+        """Execute the simulation to completion (or safety cutoff)."""
+        clock = SimClock()
+        arrivals = ArrivalStream(self.requests)
+        iterations = 0
+
+        while True:
+            for req in arrivals.release_until(clock.now):
+                self.scheduler.admit(req)
+
+            if not self.scheduler.has_work():
+                nxt = arrivals.next_arrival
+                if nxt is None:
+                    break  # drained
+                clock.advance_to(nxt)
+                continue
+
+            latency = self.scheduler.step(clock.now)
+            if latency <= 0:
+                raise RuntimeError(
+                    f"{self.scheduler.name}: non-positive iteration latency {latency}"
+                )
+            clock.advance(latency)
+            iterations += 1
+
+            if clock.now > self.max_sim_time_s:
+                break
+            if iterations > self.max_iterations:
+                raise RuntimeError(
+                    f"{self.scheduler.name}: exceeded {self.max_iterations} iterations"
+                )
+
+        self.scheduler.finalize()
+        all_requests = self.scheduler.all_requests()
+        return SimulationReport(
+            scheduler_name=self.scheduler.name,
+            metrics=compute_metrics(all_requests),
+            sim_time_s=clock.now,
+            iterations=iterations,
+            phase_breakdown=self.engine.phase_times.breakdown(),
+            requests=all_requests,
+        )

@@ -1,0 +1,85 @@
+"""Per-iteration telemetry.
+
+Production serving systems expose per-iteration counters (batch size,
+speculation shape, tokens proposed/accepted, latency) for dashboards and
+autoscaling.  ``IterationLog`` is the simulator's equivalent: schedulers
+append one record per iteration, and analysis code (the
+``adaptive_speculation`` example, ablations) reads time series from it
+without monkey-patching scheduler internals.
+
+Recording is opt-in (``engine.telemetry = IterationLog()``): the hot loop
+pays nothing when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One scheduler iteration's observables."""
+
+    time_s: float
+    kind: str  # "prefill" | "decode" | "speculative" | "mixed"
+    batch_size: int
+    latency_s: float
+    tokens_committed: int = 0
+    depth: int = 0
+    width: int = 0
+    budget_used: int = 0
+    tokens_accepted: int = 0
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Commit rate of this iteration."""
+        return self.tokens_committed / self.latency_s if self.latency_s > 0 else 0.0
+
+
+@dataclass
+class IterationLog:
+    """Append-only log of iteration records with simple query helpers."""
+
+    records: list[IterationRecord] = field(default_factory=list)
+
+    def record(self, rec: IterationRecord) -> None:
+        """Append one iteration."""
+        self.records.append(rec)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def of_kind(self, kind: str) -> list[IterationRecord]:
+        """All records of one iteration kind."""
+        return [r for r in self.records if r.kind == kind]
+
+    def series(self, attr: str) -> list[tuple[float, float]]:
+        """(time, value) pairs for any record attribute."""
+        return [(r.time_s, float(getattr(r, attr))) for r in self.records]
+
+    def bucketed_mean(self, attr: str, bucket_s: float) -> list[tuple[float, float]]:
+        """Mean of an attribute per time bucket (for load/shape plots)."""
+        if bucket_s <= 0:
+            raise ValueError("bucket_s must be positive")
+        if not self.records:
+            return []
+        out: list[tuple[float, float]] = []
+        horizon = max(r.time_s for r in self.records)
+        t = 0.0
+        while t <= horizon:
+            window = [r for r in self.records if t <= r.time_s < t + bucket_s]
+            if window:
+                vals = [float(getattr(r, attr)) for r in window]
+                out.append((t, sum(vals) / len(vals)))
+            t += bucket_s
+        return out
+
+    def mean_accepted_when(self, min_batch: int) -> float:
+        """Mean accepted tokens per request for iterations at >= min_batch."""
+        rows = [
+            r for r in self.records
+            if r.kind == "speculative" and r.batch_size >= min_batch
+        ]
+        if not rows:
+            return 0.0
+        return sum(r.tokens_accepted / r.batch_size for r in rows) / len(rows)

@@ -1,0 +1,93 @@
+"""Synthetic stand-ins for the paper's evaluation datasets.
+
+The paper samples prompts from HumanEval (code completion), Alpaca
+(instruction-following chat) and CNN/DailyMail (news summarization).  The
+serving system only observes two things per request: prompt length and
+output length (plus how guessable the text is, which lives on the
+category).  Each synthetic dataset therefore models prompt/output lengths
+with clipped lognormal distributions whose parameters approximate the
+real corpora's token statistics:
+
+- HumanEval: moderate prompts (problem + context), medium completions;
+- Alpaca: short instructions, medium-length answers;
+- CNN/DailyMail: long article prompts, short summaries — the long-prefill
+  class whose interference the paper discusses in §6.2.
+
+Sampling is deterministic per (dataset, seed, index).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro._rng import hash_seed, uniforms
+
+
+@dataclass(frozen=True)
+class LengthDistribution:
+    """Clipped lognormal over integer token counts."""
+
+    mean: float  # desired mean of the clipped distribution (approx.)
+    sigma: float  # lognormal shape parameter (in log space)
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 1 or self.hi < self.lo:
+            raise ValueError(f"invalid clip range: {self}")
+        if self.mean <= 0 or self.sigma <= 0:
+            raise ValueError(f"invalid lognormal params: {self}")
+
+    def sample(self, h: int, salt: int) -> int:
+        """Draw one length from hash-derived randomness (Box-Muller)."""
+        u1, u2 = uniforms(h, salt, 2)
+        u1 = max(u1, 1e-12)
+        z = math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+        # ln X ~ N(mu, sigma); choose mu so that E[X] ~= mean.
+        mu = math.log(self.mean) - 0.5 * self.sigma**2
+        value = int(round(math.exp(mu + self.sigma * z)))
+        return max(self.lo, min(self.hi, value))
+
+
+@dataclass(frozen=True)
+class SyntheticDataset:
+    """Prompt/output length model for one corpus."""
+
+    name: str
+    prompt: LengthDistribution
+    output: LengthDistribution
+
+    def sample(self, seed: int, index: int) -> tuple[int, int]:
+        """(prompt_len, output_len) for the ``index``-th draw."""
+        # Stable name hash (Python's str hash is randomized per process).
+        name_tag = 0
+        for ch in self.name:
+            name_tag = (name_tag * 131 + ord(ch)) & ((1 << 32) - 1)
+        h = hash_seed(seed, name_tag, index)
+        return self.prompt.sample(h, 1), self.output.sample(h, 2)
+
+
+DATASETS: dict[str, SyntheticDataset] = {
+    "humaneval": SyntheticDataset(
+        name="humaneval",
+        prompt=LengthDistribution(mean=300.0, sigma=0.45, lo=100, hi=800),
+        output=LengthDistribution(mean=130.0, sigma=0.50, lo=30, hi=300),
+    ),
+    "alpaca": SyntheticDataset(
+        name="alpaca",
+        prompt=LengthDistribution(mean=100.0, sigma=0.70, lo=20, hi=400),
+        output=LengthDistribution(mean=220.0, sigma=0.55, lo=30, hi=500),
+    ),
+    "cnn_dailymail": SyntheticDataset(
+        name="cnn_dailymail",
+        prompt=LengthDistribution(mean=900.0, sigma=0.40, lo=300, hi=2500),
+        output=LengthDistribution(mean=100.0, sigma=0.45, lo=30, hi=250),
+    ),
+    # A tiny dataset for fast tests and examples.
+    "tiny": SyntheticDataset(
+        name="tiny",
+        prompt=LengthDistribution(mean=60.0, sigma=0.30, lo=10, hi=150),
+        output=LengthDistribution(mean=24.0, sigma=0.30, lo=4, hi=60),
+    ),
+}

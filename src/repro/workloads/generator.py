@@ -1,0 +1,124 @@
+"""Workload generation: traces x categories x datasets -> requests.
+
+``WorkloadGenerator`` reproduces the paper's workload recipe (§6.1): for
+each arrival timestamp (from a trace), sample a category according to the
+mix, then sample a request (prompt/output lengths) from that category's
+dataset, and attach the category's TPOT SLO resolved against the deployed
+model's baseline latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._rng import hash_seed, uniform
+from repro.hardware.roofline import RooflineModel
+from repro.serving.request import Request
+from repro.workloads.categories import CATEGORIES, DEFAULT_MIX, Category
+from repro.workloads.datasets import DATASETS, SyntheticDataset
+from repro.workloads.trace import bursty_trace, phased_trace, uniform_trace
+
+
+@dataclass
+class WorkloadGenerator:
+    """Builds request lists for the evaluation scenarios.
+
+    Parameters
+    ----------
+    roofline:
+        Target-model cost model; supplies the baseline latency that
+        anchors category-1 SLOs.
+    seed:
+        Workload seed (category draws, length draws, trace randomness).
+    slo_scale:
+        Figure 11 knob — multiplies urgent (baseline-relative) SLOs.
+    categories, datasets:
+        Overridable registries (tests swap in tiny datasets).
+    """
+
+    roofline: RooflineModel
+    seed: int = 0
+    slo_scale: float = 1.0
+    categories: dict[str, Category] = field(default_factory=lambda: dict(CATEGORIES))
+    datasets: dict[str, SyntheticDataset] = field(default_factory=lambda: dict(DATASETS))
+
+    def __post_init__(self) -> None:
+        self._baseline = self.roofline.baseline_decode_latency
+
+    # ------------------------------------------------------------------
+    def _make_request(self, rid: int, arrival: float, category: Category) -> Request:
+        dataset = self.datasets[category.dataset]
+        prompt_len, output_len = dataset.sample(self.seed, rid)
+        return Request(
+            rid=rid,
+            category=category.name,
+            arrival_time=arrival,
+            prompt_len=prompt_len,
+            max_new_tokens=output_len,
+            tpot_slo=category.resolve_slo(self._baseline, self.slo_scale),
+            predictability=category.predictability,
+            priority=0 if category.is_urgent else 1,
+        )
+
+    def _sample_category(self, mix: dict[str, float], rid: int) -> Category:
+        h = hash_seed(self.seed, 0x434154, rid)  # "CAT"
+        u = uniform(h, 0)
+        total = sum(mix.values())
+        acc = 0.0
+        names = sorted(mix)
+        for name in names:
+            acc += mix[name] / total
+            if u < acc:
+                return self.categories[name]
+        return self.categories[names[-1]]
+
+    # ------------------------------------------------------------------
+    def from_arrivals(
+        self, arrivals: list[float], mix: dict[str, float] | None = None
+    ) -> list[Request]:
+        """Requests for explicit arrival timestamps, categories by mix."""
+        mix = mix or DEFAULT_MIX
+        unknown = set(mix) - set(self.categories)
+        if unknown:
+            raise KeyError(f"unknown categories in mix: {sorted(unknown)}")
+        return [
+            self._make_request(rid, t, self._sample_category(mix, rid))
+            for rid, t in enumerate(sorted(arrivals))
+        ]
+
+    def bursty(
+        self,
+        duration_s: float,
+        rps: float,
+        mix: dict[str, float] | None = None,
+    ) -> list[Request]:
+        """Figure 7-style workload at a target average RPS."""
+        return self.from_arrivals(bursty_trace(duration_s, rps, seed=self.seed), mix)
+
+    def steady(
+        self,
+        duration_s: float,
+        rps: float,
+        mix: dict[str, float] | None = None,
+    ) -> list[Request]:
+        """Homogeneous-Poisson workload."""
+        return self.from_arrivals(uniform_trace(duration_s, rps, seed=self.seed), mix)
+
+    def phased(
+        self,
+        duration_s: float,
+        peak_rps: float,
+        base_rps: float = 0.3,
+        category_order: tuple[str, ...] = ("chatbot", "coding", "summarization"),
+    ) -> list[Request]:
+        """Figure 13 workload: categories peak at staggered times."""
+        unknown = set(category_order) - set(self.categories)
+        if unknown:
+            raise KeyError(f"unknown categories: {sorted(unknown)}")
+        pairs = phased_trace(
+            duration_s, list(category_order), peak_rps, base_rps, seed=self.seed
+        )
+        return [
+            self._make_request(rid, t, self.categories[cat])
+            for rid, (t, cat) in enumerate(pairs)
+        ]

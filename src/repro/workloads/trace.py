@@ -1,0 +1,135 @@
+"""Arrival-trace generation.
+
+Two trace shapes from the paper:
+
+- :func:`bursty_trace` — the Figure 7 real-world trace (originally from
+  the Splitwise production traces): request frequency oscillates with
+  bursts over a ~20-minute window.  We synthesize the same shape with a
+  low-frequency modulation plus burst spikes, then draw arrivals from the
+  resulting time-varying rate via Poisson thinning.  Like the paper, the
+  trace is rescaled to a target average RPS.
+- :func:`phased_trace` — the Figure 13 synthetic trace where each request
+  category peaks at a different time (staggered Gaussian bumps), used for
+  the workload-fluctuation sensitivity study (Figure 14).
+
+Both return arrival timestamps (and per-arrival categories for the phased
+trace); :mod:`repro.workloads.generator` turns them into requests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._rng import hash_seed, uniform, uniforms
+
+
+def _thin_poisson(
+    rate_fn,
+    duration_s: float,
+    rate_max: float,
+    seed: int,
+) -> list[float]:
+    """Non-homogeneous Poisson arrivals on [0, duration) via thinning."""
+    h = hash_seed(seed, 0x5452_4143)  # "TRAC"
+    arrivals: list[float] = []
+    t = 0.0
+    i = 0
+    while True:
+        u1, u2 = uniforms(h, i, 2)
+        i += 1
+        u1 = max(u1, 1e-12)
+        t += -math.log(u1) / rate_max
+        if t >= duration_s:
+            break
+        if u2 * rate_max <= rate_fn(t):
+            arrivals.append(t)
+    return arrivals
+
+
+def bursty_trace(
+    duration_s: float,
+    target_rps: float,
+    seed: int = 0,
+    burstiness: float = 0.5,
+    num_bursts: int = 4,
+) -> list[float]:
+    """Figure 7-shaped arrivals rescaled to ``target_rps``.
+
+    The rate is a base level modulated by two sinusoids plus ``num_bursts``
+    short Gaussian spikes at seeded positions; ``burstiness`` in [0, 1)
+    controls modulation depth.
+    """
+    if duration_s <= 0 or target_rps <= 0:
+        raise ValueError("duration and target_rps must be positive")
+    if not 0.0 <= burstiness < 1.0:
+        raise ValueError("burstiness must be in [0, 1)")
+
+    h = hash_seed(seed, 0x4255_5253)  # "BURS"
+    burst_pos = [uniform(h, 10 + k) * duration_s for k in range(num_bursts)]
+    burst_width = duration_s * 0.02
+
+    def shape(t: float) -> float:
+        base = 1.0
+        base += burstiness * 0.6 * math.sin(2 * math.pi * t / (duration_s / 2.3))
+        base += burstiness * 0.3 * math.sin(2 * math.pi * t / (duration_s / 7.1) + 1.0)
+        for p in burst_pos:
+            base += burstiness * 1.5 * math.exp(-0.5 * ((t - p) / burst_width) ** 2)
+        return max(0.05, base)
+
+    # Normalize the shape to the target average rate.
+    samples = 512
+    mean_shape = sum(shape(duration_s * (k + 0.5) / samples) for k in range(samples)) / samples
+    scale = target_rps / mean_shape
+    rate_max = scale * max(shape(duration_s * (k + 0.5) / samples) for k in range(samples)) * 1.05
+    return _thin_poisson(lambda t: scale * shape(t), duration_s, rate_max, seed)
+
+
+def uniform_trace(duration_s: float, rps: float, seed: int = 0) -> list[float]:
+    """Homogeneous Poisson arrivals (steady load)."""
+    if duration_s <= 0 or rps <= 0:
+        raise ValueError("duration and rps must be positive")
+    return _thin_poisson(lambda t: rps, duration_s, rps, seed)
+
+
+def phased_trace(
+    duration_s: float,
+    categories: list[str],
+    peak_rps: float,
+    base_rps: float = 0.3,
+    seed: int = 0,
+) -> list[tuple[float, str]]:
+    """Figure 13 trace: categories peak at staggered times.
+
+    Each category's arrival rate is ``base_rps`` plus a Gaussian bump of
+    height ``peak_rps`` centred at an evenly staggered position in the
+    window.  Returns (arrival_time, category) sorted by time.
+    """
+    if not categories:
+        raise ValueError("need at least one category")
+    if peak_rps <= 0 or base_rps < 0:
+        raise ValueError("invalid rates")
+    width = duration_s / (len(categories) * 2.5)
+    out: list[tuple[float, str]] = []
+    for k, cat in enumerate(categories):
+        centre = duration_s * (k + 0.5) / len(categories)
+
+        def rate(t: float, c: float = centre) -> float:
+            return base_rps + peak_rps * math.exp(-0.5 * ((t - c) / width) ** 2)
+
+        rate_max = base_rps + peak_rps
+        arrivals = _thin_poisson(rate, duration_s, rate_max, hash_seed(seed, k))
+        out.extend((t, cat) for t in arrivals)
+    out.sort(key=lambda tc: tc[0])
+    return out
+
+
+def trace_frequency(arrivals: list[float], bin_s: float, duration_s: float) -> list[int]:
+    """Histogram arrivals into bins (for reproducing Figures 7/13)."""
+    if bin_s <= 0:
+        raise ValueError("bin_s must be positive")
+    n_bins = max(1, int(math.ceil(duration_s / bin_s)))
+    counts = [0] * n_bins
+    for t in arrivals:
+        idx = min(n_bins - 1, int(t / bin_s))
+        counts[idx] += 1
+    return counts

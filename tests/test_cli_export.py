@@ -1,0 +1,107 @@
+"""Tests for the CLI and result export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    metrics_to_dict,
+    points_from_json,
+    points_to_csv,
+    points_to_json,
+    report_to_dict,
+    report_to_json,
+)
+from repro.analysis.report import SeriesPoint
+from repro.cli import build_parser, main
+from repro.serving.metrics import compute_metrics
+from tests.conftest import make_request
+
+
+def _finished_request(rid=0):
+    req = make_request(rid=rid, max_new_tokens=4, tpot_slo=1.0)
+    req.advance_prefill(req.prompt_len)
+    req.begin_decode(1, 0.0)
+    req.commit_tokens(4, 2, 0.2)
+    return req
+
+
+class TestExport:
+    def test_metrics_roundtrip_fields(self):
+        m = compute_metrics([_finished_request()])
+        d = metrics_to_dict(m)
+        assert d["num_requests"] == 1
+        assert d["attainment"] == 1.0
+        assert "coding" in d["per_category"]
+        json.dumps(d)  # serializable
+
+    def test_points_csv(self):
+        pts = [
+            SeriesPoint(2.0, "B", 0.8, 90, 0.2, 0.0),
+            SeriesPoint(1.0, "A", 0.9, 100, 0.1, 2.0),
+        ]
+        csv_text = points_to_csv(pts)
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("x,system")
+        assert lines[1].startswith("1.0,A")  # sorted by x
+        assert len(lines) == 3
+
+    def test_points_json_roundtrip(self):
+        pts = [SeriesPoint(1.0, "A", 0.9, 100.0, 0.1, 2.0)]
+        back = points_from_json(points_to_json(pts))
+        assert back == pts
+
+    def test_report_serialization(self, engine):
+        from repro.baselines.vllm import VLLMScheduler
+        from repro.serving.server import ServingSimulator
+
+        reqs = [make_request(rid=0, prompt_len=10, max_new_tokens=3)]
+        report = ServingSimulator(engine, VLLMScheduler(engine), reqs).run()
+        d = report_to_dict(report)
+        assert d["scheduler"] == "vLLM"
+        assert d["metrics"]["num_finished"] == 1
+        parsed = json.loads(report_to_json(report))
+        assert parsed["iterations"] == report.iterations
+
+
+class TestCLI:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--system", "vllm", "--rps", "2.0"])
+        assert args.system == "vllm"
+        args = parser.parse_args(["sweep", "--systems", "adaserve", "--rps", "2.0", "3.0"])
+        assert args.rps == [2.0, 3.0]
+        args = parser.parse_args(["profile", "--model", "qwen32b"])
+        assert args.model == "qwen32b"
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--system", "bogus"])
+
+    def test_profile_command(self, capsys):
+        assert main(["profile", "--model", "llama70b"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline decode latency" in out
+        assert "token budget" in out
+
+    def test_run_command_small(self, capsys):
+        rc = main(
+            ["run", "--system", "vllm", "--rps", "1.0", "--duration", "4",
+             "--trace", "steady"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "attainment" in out
+        assert "category" in out
+
+    def test_sweep_command_small(self, capsys):
+        rc = main(
+            ["sweep", "--systems", "vllm", "--rps", "1.0", "--duration", "4",
+             "--trace", "steady"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SLO attainment" in out
+        assert "Goodput" in out

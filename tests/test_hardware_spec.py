@@ -1,0 +1,89 @@
+"""Tests for GPU/model specifications and deployments (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.spec import (
+    DEPLOYMENT_PRESETS,
+    GPU_PRESETS,
+    MODEL_PRESETS,
+    DeploymentSpec,
+    GPUSpec,
+    ModelSpec,
+)
+
+
+class TestGPUSpec:
+    def test_presets_valid(self):
+        for spec in GPU_PRESETS.values():
+            assert spec.flops > 0 and spec.mem_bandwidth > 0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            GPUSpec("bad", flops=0, mem_bandwidth=1, mem_bytes=1)
+
+    def test_h100_faster_than_a100(self):
+        assert GPU_PRESETS["h100-80g"].flops > GPU_PRESETS["a100-80g"].flops
+        assert GPU_PRESETS["h100-80g"].mem_bandwidth > GPU_PRESETS["a100-80g"].mem_bandwidth
+
+
+class TestModelSpec:
+    def test_weight_bytes_fp16(self):
+        m = MODEL_PRESETS["llama-3.1-70b"]
+        assert m.weight_bytes == m.n_params * 2
+
+    def test_flops_per_token(self):
+        m = MODEL_PRESETS["qwen2.5-32b"]
+        assert m.flops_per_token == 2.0 * m.n_params
+
+    def test_head_dim(self):
+        m = MODEL_PRESETS["llama-3.1-70b"]
+        assert m.head_dim == m.hidden_size // m.n_heads
+
+    def test_kv_bytes_gqa(self):
+        m = MODEL_PRESETS["llama-3.1-70b"]
+        # 80 layers x 8 kv heads x 128 head dim x 2 (K,V) x 2 bytes
+        assert m.kv_bytes_per_token == 2 * 80 * 8 * 128 * 2
+
+    def test_invalid_hidden_size(self):
+        with pytest.raises(ValueError):
+            ModelSpec("bad", 1e9, 10, hidden_size=100, n_heads=7, n_kv_heads=7)
+
+    def test_draft_much_smaller_than_target(self):
+        assert (
+            MODEL_PRESETS["llama-3.2-1b"].n_params
+            < MODEL_PRESETS["llama-3.1-70b"].n_params / 30
+        )
+
+
+class TestDeploymentSpec:
+    def test_table1_presets_fit(self):
+        for dep in DEPLOYMENT_PRESETS.values():
+            assert dep.model.weight_bytes <= dep.gpu.mem_bytes * dep.tensor_parallel
+
+    def test_70b_does_not_fit_single_a100(self):
+        with pytest.raises(ValueError):
+            DeploymentSpec(MODEL_PRESETS["llama-3.1-70b"], GPU_PRESETS["a100-80g"], 1)
+
+    def test_invalid_tp(self):
+        with pytest.raises(ValueError):
+            DeploymentSpec(MODEL_PRESETS["llama-3.2-1b"], GPU_PRESETS["a100-80g"], 0)
+
+    def test_kv_capacity_positive(self):
+        dep = DEPLOYMENT_PRESETS["llama70b-4xa100"]
+        assert dep.kv_capacity_tokens > 10_000
+
+    def test_kv_capacity_shrinks_with_weights(self):
+        big = DEPLOYMENT_PRESETS["llama70b-4xa100"]
+        small = DeploymentSpec(
+            MODEL_PRESETS["llama-3.1-8b"], GPU_PRESETS["a100-80g"], 4
+        )
+        # Same GPUs, smaller model => more KV bytes available.
+        assert small.kv_capacity_bytes > big.kv_capacity_bytes
+
+    def test_table1_rows_present(self):
+        assert "llama70b-4xa100" in DEPLOYMENT_PRESETS
+        assert DEPLOYMENT_PRESETS["llama70b-4xa100"].tensor_parallel == 4
+        assert "qwen32b-2xa100" in DEPLOYMENT_PRESETS
+        assert DEPLOYMENT_PRESETS["qwen32b-2xa100"].tensor_parallel == 2

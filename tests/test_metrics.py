@@ -1,0 +1,105 @@
+"""Tests for serving metrics (attainment, goodput, violation reduction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.metrics import compute_metrics, violation_reduction
+from tests.conftest import make_request
+
+
+def finished_request(rid, category="coding", arrival=0.0, slo=0.05, tokens=10, duration=0.3):
+    """A request that finished `tokens` tokens over `duration` seconds."""
+    req = make_request(
+        rid=rid, category=category, arrival=arrival,
+        max_new_tokens=tokens, tpot_slo=slo,
+    )
+    req.advance_prefill(req.prompt_len)
+    start = arrival + 0.1
+    req.begin_decode(1, start)
+    req.commit_tokens(tokens, 2, start + duration)
+    return req
+
+
+class TestComputeMetrics:
+    def test_empty(self):
+        m = compute_metrics([])
+        assert m.num_requests == 0
+        assert m.attainment == 0.0
+        assert m.goodput == 0.0
+
+    def test_all_attained(self):
+        # 10 tokens over 0.3s = 30ms/token <= 50ms SLO.
+        reqs = [finished_request(i) for i in range(4)]
+        m = compute_metrics(reqs)
+        assert m.attainment == 1.0
+        assert m.violation_rate == 0.0
+        assert m.num_finished == 4
+
+    def test_mixed_attainment(self):
+        ok = [finished_request(i, duration=0.3) for i in range(3)]
+        bad = [finished_request(10 + i, duration=1.0) for i in range(1)]
+        m = compute_metrics(ok + bad)
+        assert m.attainment == pytest.approx(0.75)
+
+    def test_unfinished_counts_as_violation(self):
+        ok = finished_request(0)
+        pending = make_request(rid=1)
+        m = compute_metrics([ok, pending])
+        assert m.num_requests == 2
+        assert m.num_attained == 1
+        assert m.attainment == pytest.approx(0.5)
+
+    def test_goodput_counts_attained_tokens_only(self):
+        ok = finished_request(0, tokens=10, duration=0.3)
+        bad = finished_request(1, tokens=20, duration=2.0)
+        m = compute_metrics([ok, bad])
+        # Span: first arrival 0.0 to last finish 0.1 + 2.0.
+        assert m.span_s == pytest.approx(2.1)
+        assert m.goodput == pytest.approx(10 / 2.1)
+        assert m.throughput == pytest.approx(30 / 2.1)
+
+    def test_per_category(self):
+        a = finished_request(0, category="coding", duration=0.3)
+        b = finished_request(1, category="chatbot", duration=1.0)
+        m = compute_metrics([a, b])
+        assert m.per_category["coding"].attainment == 1.0
+        assert m.per_category["chatbot"].attainment == 0.0
+        assert m.per_category["chatbot"].mean_tpot_s == pytest.approx(0.1)
+
+    def test_mean_accepted_per_verify(self):
+        a = finished_request(0)
+        a.verify_steps = 4
+        a.accepted_draft_tokens = 10
+        b = finished_request(1)
+        b.verify_steps = 6
+        b.accepted_draft_tokens = 5
+        m = compute_metrics([a, b])
+        assert m.mean_accepted_per_verify == pytest.approx(15 / 10)
+
+    def test_no_verify_steps_zero(self):
+        m = compute_metrics([finished_request(0)])
+        assert m.mean_accepted_per_verify == 0.0
+
+
+class TestViolationReduction:
+    def test_ratio(self):
+        base = compute_metrics(
+            [finished_request(i, duration=2.0) for i in range(2)]
+            + [finished_request(9, duration=0.3)]
+        )  # 2/3 violations
+        good = compute_metrics(
+            [finished_request(i, duration=2.0) for i in range(1)]
+            + [finished_request(8, duration=0.3)] * 1
+            + [finished_request(7, duration=0.3)]
+        )  # 1/3 violations
+        assert violation_reduction(base, good) == pytest.approx(2.0)
+
+    def test_zero_improved_violations(self):
+        base = compute_metrics([finished_request(0, duration=2.0)])
+        good = compute_metrics([finished_request(0, duration=0.3)])
+        assert violation_reduction(base, good) == float("inf")
+
+    def test_both_zero(self):
+        good = compute_metrics([finished_request(0, duration=0.3)])
+        assert violation_reduction(good, good) == 1.0

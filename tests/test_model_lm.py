@@ -1,0 +1,192 @@
+"""Tests for the synthetic target LM and draft LM."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.model.draft import DraftLM
+from repro.model.stochastic_lm import StochasticLM, TokenDistribution
+from repro.model.vocab import Vocabulary
+
+
+@pytest.fixture
+def lm() -> StochasticLM:
+    return StochasticLM(Vocabulary(2000), seed=11, predictability=0.7)
+
+
+class TestTokenDistribution:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TokenDistribution((1, 2), (0.5,))
+
+    def test_prob_of_present_and_absent(self):
+        d = TokenDistribution((5, 9), (0.8, 0.2))
+        assert d.prob_of(5) == 0.8
+        assert d.prob_of(7) == 0.0
+
+    def test_top_token(self):
+        assert TokenDistribution((5, 9), (0.8, 0.2)).top_token() == 5
+
+
+class TestStochasticLM:
+    def test_invalid_params(self):
+        v = Vocabulary(2000)
+        with pytest.raises(ValueError):
+            StochasticLM(v, branching=1)
+        with pytest.raises(ValueError):
+            StochasticLM(v, predictability=0.0)
+        with pytest.raises(ValueError):
+            StochasticLM(v, decay=1.0)
+
+    def test_distribution_normalized(self, lm):
+        ctx = lm.context_of([1, 2, 3])
+        dist = lm.distribution(ctx)
+        assert math.isclose(sum(dist.probs), 1.0, rel_tol=1e-9)
+
+    def test_probs_sorted_descending(self, lm):
+        dist = lm.distribution(lm.context_of([4, 5]))
+        assert list(dist.probs) == sorted(dist.probs, reverse=True)
+
+    def test_token_ids_distinct(self, lm):
+        for seq in ([1], [2, 3], [9, 9, 9]):
+            dist = lm.distribution(lm.context_of(seq))
+            assert len(set(dist.token_ids)) == len(dist.token_ids)
+
+    def test_deterministic_per_context(self, lm):
+        ctx = lm.context_of([7, 8])
+        assert lm.distribution(ctx) is lm.distribution(ctx)  # cached
+        fresh = StochasticLM(Vocabulary(2000), seed=11, predictability=0.7)
+        assert fresh.distribution(ctx).probs == lm.distribution(ctx).probs
+
+    def test_different_contexts_differ(self, lm):
+        d1 = lm.distribution(lm.context_of([1]))
+        d2 = lm.distribution(lm.context_of([2]))
+        assert d1.token_ids != d2.token_ids or d1.probs != d2.probs
+
+    def test_seed_changes_model(self):
+        a = StochasticLM(Vocabulary(2000), seed=1)
+        b = StochasticLM(Vocabulary(2000), seed=2)
+        ctx = [3, 4, 5]
+        assert a.distribution(a.context_of(ctx)).probs != b.distribution(b.context_of(ctx)).probs
+
+    def test_top1_tracks_predictability(self):
+        v = Vocabulary(2000)
+        lo = StochasticLM(v, seed=3, predictability=0.3)
+        hi = StochasticLM(v, seed=3, predictability=0.9)
+        ctxs = [lo.context_of([i]) for i in range(300)]
+        mean_lo = sum(lo.distribution(c).probs[0] for c in ctxs) / 300
+        mean_hi = sum(hi.distribution(c).probs[0] for c in ctxs) / 300
+        assert mean_hi > mean_lo + 0.3
+        assert abs(mean_lo - 0.3) < 0.06
+        assert abs(mean_hi - 0.9) < 0.06
+
+    def test_center_override(self, lm):
+        ctx = lm.context_of([1, 2])
+        low = lm.distribution(ctx, center=0.2)
+        high = lm.distribution(ctx, center=0.95)
+        assert high.probs[0] > low.probs[0]
+        # Same support regardless of center.
+        assert set(low.token_ids) == set(high.token_ids)
+
+    def test_sample_in_support(self, lm):
+        for i in range(100):
+            ctx = lm.context_of([i])
+            assert lm.sample(ctx) in lm.distribution(ctx).token_ids
+
+    def test_sample_deterministic(self, lm):
+        ctx = lm.context_of([42])
+        assert lm.sample(ctx) == lm.sample(ctx)
+
+    def test_sample_frequency_matches_top1(self):
+        # Across many contexts, the top token is sampled about top1 of
+        # the time (the sample is drawn from the distribution).
+        lm = StochasticLM(Vocabulary(2000), seed=5, predictability=0.8, spread=0.05)
+        hits = 0
+        n = 2000
+        for i in range(n):
+            ctx = lm.context_of([i, i + 1])
+            if lm.sample(ctx) == lm.distribution(ctx).top_token():
+                hits += 1
+        assert abs(hits / n - 0.8) < 0.04
+
+    def test_greedy_is_top(self, lm):
+        ctx = lm.context_of([9])
+        assert lm.greedy(ctx) == lm.distribution(ctx).top_token()
+
+    def test_extend_matches_context_of(self, lm):
+        assert lm.extend(lm.context_of([1, 2]), 3) == lm.context_of([1, 2, 3])
+
+    def test_cache_bounded(self):
+        lm = StochasticLM(Vocabulary(2000), seed=1)
+        lm._cache_cap = 100
+        for i in range(250):
+            lm.distribution(lm.context_of([i]))
+        assert len(lm._cache) <= 101
+
+    def test_clear_cache(self, lm):
+        lm.distribution(lm.context_of([1]))
+        lm.clear_cache()
+        assert len(lm._cache) == 0
+
+
+class TestDraftLM:
+    def test_alignment_validation(self, lm):
+        with pytest.raises(ValueError):
+            DraftLM(lm, alignment=1.5)
+
+    def test_perfect_alignment_equals_target(self, lm):
+        draft = DraftLM(lm, alignment=1.0)
+        ctx = lm.context_of([1, 2, 3])
+        assert draft.distribution(ctx) is lm.distribution(ctx)
+
+    def test_support_shared_with_target(self, lm):
+        draft = DraftLM(lm, alignment=0.5)
+        ctx = lm.context_of([4, 4])
+        assert set(draft.distribution(ctx).token_ids) == set(
+            lm.distribution(ctx).token_ids
+        )
+
+    def test_normalized(self, lm):
+        draft = DraftLM(lm, alignment=0.5)
+        ctx = lm.context_of([8])
+        assert math.isclose(sum(draft.distribution(ctx).probs), 1.0, rel_tol=1e-9)
+
+    def test_sorted_descending(self, lm):
+        draft = DraftLM(lm, alignment=0.3)
+        dist = draft.distribution(lm.context_of([6, 7]))
+        assert list(dist.probs) == sorted(dist.probs, reverse=True)
+
+    def test_alignment_controls_agreement(self, lm):
+        # Higher alignment => draft top-1 agrees with target top-1 more often.
+        strong = DraftLM(lm, alignment=0.95)
+        weak = StochasticLM(Vocabulary(2000), seed=11, predictability=0.7)
+        weak_draft = DraftLM(weak, alignment=0.1)
+        n = 400
+        agree_strong = sum(
+            strong.distribution(lm.context_of([i])).top_token()
+            == lm.distribution(lm.context_of([i])).top_token()
+            for i in range(n)
+        )
+        agree_weak = sum(
+            weak_draft.distribution(weak.context_of([i])).top_token()
+            == weak.distribution(weak.context_of([i])).top_token()
+            for i in range(n)
+        )
+        assert agree_strong > agree_weak
+
+    def test_top_w(self, lm):
+        draft = DraftLM(lm, alignment=0.8)
+        ctx = lm.context_of([2])
+        top3 = draft.top_w(ctx, 3)
+        assert len(top3) == 3
+        dist = draft.distribution(ctx)
+        assert [t for t, _ in top3] == list(dist.token_ids[:3])
+
+    def test_center_passthrough(self, lm):
+        draft = DraftLM(lm, alignment=0.9)
+        ctx = lm.context_of([3])
+        hi = draft.distribution(ctx, center=0.95)
+        lo = draft.distribution(ctx, center=0.2)
+        assert hi.probs[0] > lo.probs[0]

@@ -1,0 +1,111 @@
+"""Tests for the speculate-select-verify pipeline (one iteration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import BatchItem, run_iteration
+
+
+def items_for(pair, n: int, requirement: float = 1.5, **kw) -> list[BatchItem]:
+    return [
+        BatchItem(
+            root_token=0,
+            root_ctx=pair.context_of([i, 100 + i]),
+            requirement=requirement,
+            **kw,
+        )
+        for i in range(n)
+    ]
+
+
+class TestIteration:
+    def test_empty_batch_rejected(self, pair):
+        with pytest.raises(ValueError):
+            run_iteration(pair, [], depth=2, width=2, budget=4)
+
+    def test_outcomes_align_with_items(self, pair):
+        items = items_for(pair, 3)
+        result = run_iteration(pair, items, depth=3, width=2, budget=12)
+        assert len(result.outcomes) == 3
+        for item, out in zip(items, result.outcomes):
+            # Committed context = root extended by accepted + correction.
+            ctx = item.root_ctx
+            for tok in out.accepted_tokens:
+                ctx = pair.extend(ctx, tok)
+            ctx = pair.extend(ctx, out.correction_token)
+            assert ctx == out.new_ctx
+
+    def test_always_generates_at_least_one(self, pair):
+        result = run_iteration(pair, items_for(pair, 4), depth=2, width=2, budget=8)
+        assert all(o.tokens_generated >= 1 for o in result.outcomes)
+
+    def test_accepted_bounded_by_depth(self, pair):
+        result = run_iteration(pair, items_for(pair, 2), depth=3, width=2, budget=10)
+        assert all(len(o.accepted_tokens) <= 3 for o in result.outcomes)
+
+    def test_verify_tokens_matches_selection(self, pair):
+        result = run_iteration(pair, items_for(pair, 3), depth=3, width=2, budget=12)
+        assert result.verify_tokens == sum(o.selected_tokens for o in result.outcomes)
+        assert result.verify_tokens <= 12 - 3  # budget minus roots
+
+    def test_totals(self, pair):
+        result = run_iteration(pair, items_for(pair, 3), depth=3, width=2, budget=12)
+        assert result.total_generated == sum(o.tokens_generated for o in result.outcomes)
+        assert result.total_accepted == result.total_generated - 3
+
+    def test_selection_cpu_measured(self, pair):
+        result = run_iteration(pair, items_for(pair, 3), depth=3, width=2, budget=12)
+        assert result.selection_cpu_s > 0.0
+
+    def test_max_tokens_respected(self, pair):
+        items = items_for(pair, 2, requirement=5.0, max_tokens=2)
+        result = run_iteration(pair, items, depth=4, width=3, budget=20)
+        for out in result.outcomes:
+            assert out.tokens_generated <= 2
+
+    def test_max_tokens_one_yields_correction_only(self, pair):
+        items = items_for(pair, 1, max_tokens=1)
+        result = run_iteration(pair, items, depth=3, width=2, budget=8)
+        out = result.outcomes[0]
+        assert out.accepted_tokens == []
+        assert out.tokens_generated == 1
+
+    def test_truncated_context_consistent(self, pair):
+        # When max_tokens truncates, new_ctx must still be the context of
+        # the committed tokens.
+        items = items_for(pair, 1, requirement=5.0, max_tokens=2)
+        result = run_iteration(pair, items, depth=4, width=2, budget=10)
+        out = result.outcomes[0]
+        ctx = items[0].root_ctx
+        for tok in out.accepted_tokens:
+            ctx = pair.extend(ctx, tok)
+        assert out.new_ctx == pair.extend(ctx, out.correction_token)
+
+    def test_deterministic(self, pair):
+        items = items_for(pair, 3)
+        r1 = run_iteration(pair, items, depth=3, width=2, budget=12)
+        r2 = run_iteration(pair, items, depth=3, width=2, budget=12)
+        assert [o.accepted_tokens for o in r1.outcomes] == [
+            o.accepted_tokens for o in r2.outcomes
+        ]
+        assert r1.verify_tokens == r2.verify_tokens
+
+    def test_center_passed_through(self, pair):
+        hi = run_iteration(
+            pair, items_for(pair, 6, requirement=4.0, center=0.95), 4, 2, budget=40
+        )
+        lo = run_iteration(
+            pair, items_for(pair, 6, requirement=4.0, center=0.2), 4, 2, budget=40
+        )
+        assert hi.total_accepted > lo.total_accepted
+
+    def test_higher_requirement_more_selected(self, pair):
+        # SLO-customized selection responds to requirements; with a large
+        # budget the request with the higher A(r) gets at least as many
+        # SLO-phase tokens.
+        lo = run_iteration(pair, items_for(pair, 2, requirement=0.0), 3, 2, budget=6)
+        hi = run_iteration(pair, items_for(pair, 2, requirement=3.0), 3, 2, budget=6)
+        lo_slo = sum(s.slo_tokens for s in lo.selection.selections)
+        hi_slo = sum(s.slo_tokens for s in hi.selection.selections)
+        assert hi_slo > lo_slo

@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Covers: hashing/uniform ranges, token-tree construction, selection
+(budget/connectivity/greedy dominance), Algorithm 1 consistency, the
+roofline's monotonicity, and the KV cache via a stateful machine.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro._rng import hash_seed, mix, uniform, uniforms
+from repro.core.selection import select_tokens
+from repro.core.speculation import build_candidate_tree, speculate_batch
+from repro.core.tree import TokenTree
+from repro.hardware.roofline import RooflineModel
+from repro.hardware.spec import DEPLOYMENT_PRESETS
+from repro.model.pair import ModelPair
+from repro.serving.kv_cache import KVCacheManager, OutOfKVCache
+
+_PAIR = ModelPair.build(vocab_size=1000, seed=99, alignment=0.85, predictability=0.7)
+_ROOFLINE = RooflineModel(DEPLOYMENT_PRESETS["llama70b-4xa100"])
+
+
+class TestRngProperties:
+    @given(st.integers(min_value=0, max_value=2**64 - 1), st.integers(0, 2**32))
+    def test_uniform_in_unit_interval(self, h, salt):
+        assert 0.0 <= uniform(h, salt) < 1.0
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 1000), st.integers(1, 64))
+    def test_uniforms_count_and_range(self, h, salt, n):
+        out = uniforms(h, salt, n)
+        assert len(out) == n
+        assert all(0.0 <= u < 1.0 for u in out)
+
+    @given(st.lists(st.integers(0, 2**32), min_size=1, max_size=8))
+    def test_hash_seed_deterministic(self, parts):
+        assert hash_seed(*parts) == hash_seed(*parts)
+
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**32), st.integers(0, 2**32))
+    def test_mix_distinguishes_tokens(self, h, a, b):
+        if a != b:
+            assert mix(h, a) != mix(h, b)
+
+
+class TestTreeProperties:
+    @given(
+        st.integers(0, 50),  # context token
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_beam_tree_shape_invariants(self, tok, depth, width):
+        ctx = _PAIR.context_of([tok, tok + 1])
+        tree = build_candidate_tree(_PAIR, 0, ctx, depth, width)
+        assert tree.size <= 1 + depth * width
+        assert tree.depth <= depth
+        for node in tree.nodes(include_root=False):
+            assert 0.0 <= node.path_prob <= node.parent.path_prob
+            assert node.ctx_hash == _PAIR.extend(node.parent.ctx_hash, node.token_id)
+
+    @given(st.lists(st.floats(0.01, 0.98), min_size=1, max_size=12))
+    def test_chain_path_prob_is_product(self, probs):
+        tree = TokenTree(0, 1)
+        node = tree.root
+        expected = 1.0
+        for i, p in enumerate(probs):
+            node = tree.add_child(node, i, i + 2, p)
+            expected *= p
+        assert abs(node.path_prob - expected) < 1e-9
+
+
+class TestSelectionProperties:
+    @given(
+        st.integers(1, 5),  # number of requests
+        st.integers(0, 4),  # depth
+        st.integers(1, 3),  # width
+        st.integers(0, 30),  # extra budget beyond roots
+        st.lists(st.floats(-2.0, 8.0), min_size=5, max_size=5),
+        st.integers(0, 6),  # n_max
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_selection_invariants(self, n, depth, width, extra, reqs, n_max):
+        roots = [(0, _PAIR.context_of([i, 7])) for i in range(n)]
+        trees = speculate_batch(_PAIR, roots, depth, width).trees
+        budget = n + extra
+        res = select_tokens(trees, reqs[:n], budget=budget, n_max=n_max, depth=depth)
+        # Budget: roots + selected nodes never exceed B.
+        total_selected = sum(t.num_selected() for t in trees)
+        assert res.budget_used == n + total_selected <= budget
+        # Connectivity and extractability.
+        for t in trees:
+            assert t.is_selection_connected()
+            t.extract_selected()
+        # n_max only bounds the SLO phase.
+        for s in res.selections:
+            assert s.slo_tokens <= n_max
+        # Expected accepted consistent with marked trees.
+        for s, t in zip(res.selections, trees):
+            assert abs(s.expected_accepted - 1.0 - t.selected_path_prob_sum()) < 1e-9
+
+    @given(st.integers(1, 4), st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_dominance(self, n, extra):
+        # Every selected node's path_prob >= any unselected frontier node's.
+        roots = [(0, _PAIR.context_of([i, 3])) for i in range(n)]
+        trees = speculate_batch(_PAIR, roots, 3, 2).trees
+        select_tokens(trees, [0.0] * n, budget=n + extra)
+        selected = [
+            x for t in trees for x in t.nodes(include_root=False) if x.selected
+        ]
+        frontier = [
+            x
+            for t in trees
+            for x in t.nodes(include_root=False)
+            if not x.selected and (x.parent.is_root or x.parent.selected)
+        ]
+        if selected and frontier:
+            assert min(x.path_prob for x in selected) >= max(
+                x.path_prob for x in frontier
+            ) - 1e-12
+
+
+class TestRooflineProperties:
+    @given(st.integers(0, 4096), st.integers(0, 4096))
+    @settings(max_examples=60, deadline=None)
+    def test_latency_monotone(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert _ROOFLINE.forward_latency(lo) <= _ROOFLINE.forward_latency(hi) + 1e-15
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_context_only_adds(self, ctx):
+        assert _ROOFLINE.forward_latency(8, ctx) >= _ROOFLINE.forward_latency(8, 0)
+
+
+class KVCacheMachine(RuleBasedStateMachine):
+    """Stateful test: the KV manager never over-allocates or loses blocks."""
+
+    def __init__(self):
+        super().__init__()
+        self.kv = KVCacheManager(capacity_tokens=64 * 16, block_size=16)
+        self.tokens: dict[int, int] = {}
+
+    @rule(rid=st.integers(0, 9), tokens=st.integers(0, 400))
+    def ensure(self, rid, tokens):
+        try:
+            self.kv.ensure(rid, tokens)
+            self.tokens[rid] = max(self.tokens.get(rid, 0), tokens)
+        except OutOfKVCache:
+            pass  # state must be unchanged; checked by invariants
+
+    @precondition(lambda self: bool(self.tokens))
+    @rule(data=st.data())
+    def free(self, data):
+        rid = data.draw(st.sampled_from(sorted(self.tokens)))
+        freed = self.kv.free(rid)
+        assert freed == self.kv.blocks_for(self.tokens.pop(rid))
+
+    @invariant()
+    def used_matches_model(self):
+        expected = sum(self.kv.blocks_for(t) for t in self.tokens.values())
+        assert self.kv.used_blocks == expected
+
+    @invariant()
+    def never_exceeds_capacity(self):
+        assert 0 <= self.kv.used_blocks <= self.kv.total_blocks
+
+
+TestKVCacheStateful = KVCacheMachine.TestCase

@@ -1,0 +1,113 @@
+"""Property-based tests on the serving layer: whole-simulation invariants.
+
+Hypothesis generates small workloads and scheduler choices; every run
+must satisfy the conservation/monotonicity invariants regardless of the
+policy under test.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.baselines import (
+    FastServeScheduler,
+    SarathiScheduler,
+    SmartSpecScheduler,
+    VLLMScheduler,
+    VLLMSpecScheduler,
+    VTCScheduler,
+)
+from repro.core.scheduler import AdaServeScheduler
+from repro.hardware.roofline import RooflineModel
+from repro.hardware.spec import DEPLOYMENT_PRESETS
+from repro.model.pair import ModelPair
+from repro.serving.engine import SimulatedEngine
+from repro.serving.kv_cache import KVCacheManager
+from repro.serving.request import Request
+from repro.serving.server import ServingSimulator
+
+_PAIR = ModelPair.build(vocab_size=2000, seed=77, alignment=0.85, predictability=0.7)
+_TARGET_RL = RooflineModel(DEPLOYMENT_PRESETS["llama70b-4xa100"])
+_DRAFT_RL = RooflineModel(DEPLOYMENT_PRESETS["llama1b-1xa100"])
+
+_SCHEDULERS = {
+    "vllm": VLLMScheduler,
+    "sarathi": SarathiScheduler,
+    "fastserve": FastServeScheduler,
+    "vtc": VTCScheduler,
+    "spec": lambda e: VLLMSpecScheduler(e, spec_len=4),
+    "smartspec": lambda e: SmartSpecScheduler(e, k_max=4),
+    "adaserve": AdaServeScheduler,
+}
+
+_request_strategy = st.builds(
+    dict,
+    arrival=st.floats(0.0, 3.0),
+    prompt=st.integers(5, 200),
+    out=st.integers(1, 25),
+    slo=st.sampled_from([0.02, 0.03, 0.05, 0.15]),
+    pred=st.sampled_from([0.6, 0.75, 0.85]),
+)
+
+
+def _build(requests_spec):
+    return [
+        Request(
+            rid=i,
+            category="strict" if spec["slo"] <= 0.03 else "lax",
+            arrival_time=spec["arrival"],
+            prompt_len=spec["prompt"],
+            max_new_tokens=spec["out"],
+            tpot_slo=spec["slo"],
+            predictability=spec["pred"],
+            priority=0 if spec["slo"] <= 0.03 else 1,
+        )
+        for i, spec in enumerate(requests_spec)
+    ]
+
+
+@given(
+    st.sampled_from(sorted(_SCHEDULERS)),
+    st.lists(_request_strategy, min_size=1, max_size=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_simulation_invariants(policy, requests_spec):
+    requests = _build(requests_spec)
+    engine = SimulatedEngine(
+        _PAIR, _TARGET_RL, _DRAFT_RL, KVCacheManager(150_000), seed=77
+    )
+    scheduler = _SCHEDULERS[policy](engine)
+    report = ServingSimulator(engine, scheduler, requests, max_sim_time_s=120.0).run()
+    m = report.metrics
+
+    # Conservation: every request accounted for exactly once.
+    assert m.num_requests == len(requests)
+    seen = sorted(r.rid for r in report.requests)
+    assert seen == list(range(len(requests)))
+
+    # All work completes (workload is tiny relative to the horizon).
+    assert m.num_finished == len(requests)
+
+    for req in report.requests:
+        # Token conservation.
+        assert req.n_generated == req.max_new_tokens
+        # Causality: decode starts after arrival; tokens after decode start.
+        assert req.decode_start is not None
+        assert req.decode_start >= req.arrival_time
+        assert req.first_token_time >= req.decode_start
+        assert req.last_token_time >= req.first_token_time
+        assert req.finish_time == req.last_token_time
+        # Speculation accounting is consistent.
+        assert 0 <= req.accepted_draft_tokens <= req.n_generated
+
+    # Attained is a subset of finished; tokens split consistently.
+    assert m.num_attained <= m.num_finished
+    assert m.attained_tokens <= m.total_tokens
+    assert m.goodput <= m.throughput + 1e-9
+
+    # KV fully released after the run.
+    assert engine.kv.used_blocks == 0
+
+    # Busy time never exceeds simulated span (single device).
+    assert engine.phase_times.total <= report.sim_time_s + 1e-6

@@ -1,0 +1,86 @@
+"""Tests for the SLO accounting math (§3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.slo import (
+    SLOClass,
+    average_tpot,
+    capped_requirement,
+    is_on_track,
+    min_accept_requirement,
+)
+
+
+class TestSLOClass:
+    def test_valid(self):
+        assert SLOClass("chat", 0.05).tpot_s == 0.05
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SLOClass("bad", 0.0)
+
+
+class TestRequirement:
+    def test_fresh_request_needs_one_iteration_worth(self):
+        # No history: A = t_spec / tpot.
+        a = min_accept_requirement(0.0, 0, 0.030, 0.030)
+        assert a == pytest.approx(1.0)
+
+    def test_behind_schedule_needs_more(self):
+        # 100ms elapsed, 1 token done, 30ms iteration, 30ms SLO:
+        # (0.1 + 0.03)/0.03 - 1 = 3.33
+        a = min_accept_requirement(0.100, 1, 0.030, 0.030)
+        assert a == pytest.approx(13 / 3 - 1)
+
+    def test_ahead_of_schedule_negative(self):
+        a = min_accept_requirement(0.010, 5, 0.030, 0.030)
+        assert a < 0
+
+    def test_scales_inverse_with_slo(self):
+        tight = min_accept_requirement(0.1, 0, 0.03, 0.020)
+        loose = min_accept_requirement(0.1, 0, 0.03, 0.150)
+        assert tight > loose
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_accept_requirement(0.1, 0, 0.03, 0.0)
+        with pytest.raises(ValueError):
+            min_accept_requirement(-0.1, 0, 0.03, 0.05)
+
+    def test_satisfying_requirement_attains_slo(self):
+        # If exactly A(r) tokens are accepted, the post-iteration average
+        # TPOT equals the SLO.
+        elapsed, done, t_spec, slo = 0.20, 3, 0.04, 0.05
+        a = min_accept_requirement(elapsed, done, t_spec, slo)
+        new_avg = (elapsed + t_spec) / (done + a)
+        assert new_avg == pytest.approx(slo)
+
+
+class TestCap:
+    def test_cap_applies(self):
+        assert capped_requirement(10.0, 4) == 5.0
+
+    def test_no_cap_when_small(self):
+        assert capped_requirement(2.0, 4) == 2.0
+
+    def test_negative_passthrough(self):
+        assert capped_requirement(-1.0, 4) == -1.0
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            capped_requirement(1.0, -1)
+
+
+class TestTracking:
+    def test_on_track_no_tokens(self):
+        assert is_on_track(1.0, 0, 0.05)
+
+    def test_on_track_boundary(self):
+        assert is_on_track(0.10, 2, 0.05)
+        assert not is_on_track(0.101, 2, 0.05)
+
+    def test_average_tpot(self):
+        assert average_tpot(0.5, 10) == pytest.approx(0.05)
+        assert average_tpot(0.5, 0) == float("inf")

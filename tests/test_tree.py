@@ -1,0 +1,141 @@
+"""Tests for draft token trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tree import TokenTree
+
+
+def chain_tree(probs: list[float]) -> TokenTree:
+    """Root -> chain of nodes with the given conditional probs."""
+    tree = TokenTree(0, 100)
+    node = tree.root
+    for i, p in enumerate(probs):
+        node = tree.add_child(node, i + 1, 100 + i + 1, p)
+    return tree
+
+
+class TestConstruction:
+    def test_root_properties(self):
+        tree = TokenTree(7, 999)
+        assert tree.root.is_root
+        assert tree.root.token_id == 7
+        assert tree.root.ctx_hash == 999
+        assert tree.root.path_prob == 1.0
+        assert tree.size == 1
+        assert tree.num_speculated == 0
+        assert tree.depth == 0
+
+    def test_add_child_path_prob(self):
+        tree = TokenTree(0, 1)
+        a = tree.add_child(tree.root, 1, 2, 0.5)
+        b = tree.add_child(a, 2, 3, 0.4)
+        assert a.path_prob == 0.5
+        assert b.path_prob == pytest.approx(0.2)
+        assert b.depth == 2
+        assert b.parent is a
+
+    def test_invalid_prob_rejected(self):
+        tree = TokenTree(0, 1)
+        with pytest.raises(ValueError):
+            tree.add_child(tree.root, 1, 2, 1.5)
+
+    def test_path_tokens(self):
+        tree = chain_tree([0.9, 0.8, 0.7])
+        leaf = tree._nodes[-1]
+        assert leaf.path_tokens() == [1, 2, 3]
+        assert tree.root.path_tokens() == []
+
+    def test_nodes_iteration(self):
+        tree = chain_tree([0.9, 0.8])
+        assert len(list(tree.nodes())) == 3
+        assert len(list(tree.nodes(include_root=False))) == 2
+
+
+class TestSelection:
+    def test_selected_counts(self):
+        tree = chain_tree([0.9, 0.8])
+        nodes = list(tree.nodes(include_root=False))
+        nodes[0].selected = True
+        assert tree.num_selected() == 1
+        assert tree.num_selected(include_root=True) == 2
+
+    def test_selected_path_prob_sum(self):
+        tree = chain_tree([0.5, 0.5])
+        for n in tree.nodes(include_root=False):
+            n.selected = True
+        assert tree.selected_path_prob_sum() == pytest.approx(0.5 + 0.25)
+
+    def test_clear_selection(self):
+        tree = chain_tree([0.5])
+        next(tree.nodes(include_root=False)).selected = True
+        tree.clear_selection()
+        assert tree.num_selected() == 0
+
+    def test_connectivity_check(self):
+        tree = TokenTree(0, 1)
+        a = tree.add_child(tree.root, 1, 2, 0.9)
+        b = tree.add_child(a, 2, 3, 0.8)
+        b.selected = True  # orphan: parent a not selected
+        assert not tree.is_selection_connected()
+        a.selected = True
+        assert tree.is_selection_connected()
+
+    def test_child_of_root_always_connected(self):
+        tree = TokenTree(0, 1)
+        a = tree.add_child(tree.root, 1, 2, 0.9)
+        a.selected = True
+        assert tree.is_selection_connected()
+
+
+class TestExtraction:
+    def test_extract_rejects_disconnected(self):
+        tree = TokenTree(0, 1)
+        a = tree.add_child(tree.root, 1, 2, 0.9)
+        b = tree.add_child(a, 2, 3, 0.8)
+        b.selected = True
+        with pytest.raises(ValueError):
+            tree.extract_selected()
+
+    def test_extract_structure(self):
+        tree = TokenTree(0, 1)
+        a = tree.add_child(tree.root, 1, 10, 0.9)
+        b = tree.add_child(tree.root, 2, 11, 0.5)
+        c = tree.add_child(a, 3, 12, 0.8)
+        a.selected = True
+        c.selected = True
+        out = tree.extract_selected()
+        assert out.size == 3  # root + a + c
+        assert out.root.ctx_hash == 1
+        (a2,) = out.root.children
+        assert a2.token_id == 1 and a2.ctx_hash == 10
+        (c2,) = a2.children
+        assert c2.token_id == 3 and c2.ctx_hash == 12
+
+    def test_extract_empty_selection(self):
+        tree = chain_tree([0.9])
+        out = tree.extract_selected()
+        assert out.size == 1
+
+    def test_extract_preserves_path_probs(self):
+        tree = chain_tree([0.5, 0.4])
+        for n in tree.nodes(include_root=False):
+            n.selected = True
+        out = tree.extract_selected()
+        leaf = list(out.nodes())[-1]
+        assert leaf.path_prob == pytest.approx(0.2)
+
+    def test_extract_is_independent_copy(self):
+        tree = chain_tree([0.9])
+        child = next(tree.nodes(include_root=False))
+        child.selected = True
+        out = tree.extract_selected()
+        tree.clear_selection()
+        assert out.size == 2  # unaffected by source mutation
+
+    def test_map_nodes(self):
+        tree = chain_tree([0.9, 0.8])
+        seen = []
+        tree.map_nodes(lambda n: seen.append(n.depth))
+        assert seen == [0, 1, 2]
