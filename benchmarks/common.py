@@ -1,9 +1,12 @@
 """Shared machinery for the figure/table benchmarks.
 
 Each benchmark reproduces one piece of the paper's evaluation.  The
-end-to-end figures (8, 9, 12) share one RPS sweep per model, so sweep
-results are memoized at module scope and reused across benchmark files
-within a pytest session.
+end-to-end figures (8, 9, 12) share one RPS sweep per model; all shared
+runs go through :mod:`repro.analysis.runner` and the content-addressed
+result cache (:mod:`repro.analysis.cache`), so results are reused across
+benchmark files, pytest sessions, CLI invocations, and CI jobs alike.
+Set ``REPRO_CACHE_DIR`` to relocate the cache and ``REPRO_JOBS`` to fan
+the shared sweeps out over worker processes.
 
 Scale note: traces are shorter than the paper's (tens of seconds rather
 than tens of minutes) to keep the full benchmark run in minutes on a
@@ -13,12 +16,14 @@ the paper's setup, which is what the reproduced *shapes* depend on.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
-from repro.analysis.harness import Setup, build_setup, run_once
+from repro.analysis.cache import ResultCache
+from repro.analysis.harness import Setup, build_setup
 from repro.analysis.report import SeriesPoint, point_from_metrics
+from repro.analysis.runner import ExperimentConfig, SweepRunner
 from repro.serving.server import SimulationReport
-from repro.workloads.generator import WorkloadGenerator
 
 #: Systems compared in the end-to-end figures (Figures 8-12, 14).
 E2E_SYSTEMS = ("adaserve", "vllm", "sarathi", "vllm-spec-4", "vllm-spec-6", "vllm-spec-8")
@@ -35,16 +40,48 @@ SWEEP_DURATION_S = 45.0
 #: Workload seed for all benchmarks (results are deterministic given it).
 SEED = 1234
 
-_SETUPS: dict[str, Setup] = {}
-_SWEEP_CACHE: dict[tuple, list[SeriesPoint]] = {}
-_REPORT_CACHE: dict[tuple, SimulationReport] = {}
+_CACHE: ResultCache | None = None
+
+
+def benchmark_cache() -> ResultCache:
+    """The session-wide result cache (one instance, so stats aggregate)."""
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = ResultCache()
+    return _CACHE
+
+
+def benchmark_jobs() -> int:
+    """Worker processes for shared sweeps (``REPRO_JOBS``, default serial)."""
+    return max(1, int(os.environ.get("REPRO_JOBS", "1")))
 
 
 def setup_for(model: str) -> Setup:
-    """Memoized deployment setup."""
-    if model not in _SETUPS:
-        _SETUPS[model] = build_setup(model, seed=SEED)
-    return _SETUPS[model]
+    """Deployment setup under the benchmark seed."""
+    return build_setup(model, seed=SEED)
+
+
+def standard_config(
+    model: str,
+    system: str,
+    rps: float,
+    duration_s: float = SWEEP_DURATION_S,
+    mix: dict[str, float] | None = None,
+    slo_scale: float = 1.0,
+    trace: str = "bursty",
+) -> ExperimentConfig:
+    """A standard-workload experiment point (seed and trace explicit)."""
+    return ExperimentConfig.create(
+        model=model,
+        system=system,
+        rps=rps,
+        duration_s=duration_s,
+        seed=SEED,
+        trace=trace,
+        slo_scale=slo_scale,
+        mix=mix,
+        max_sim_time_s=1800.0,
+    )
 
 
 def run_system(
@@ -56,35 +93,24 @@ def run_system(
     slo_scale: float = 1.0,
     trace: str = "bursty",
 ) -> SimulationReport:
-    """Memoized single-system run on a standard workload."""
-    mix_key = tuple(sorted(mix.items())) if mix else None
-    key = (model, system, rps, duration_s, mix_key, slo_scale, trace)
-    if key not in _REPORT_CACHE:
-        setup = setup_for(model)
-        gen = WorkloadGenerator(setup.target_roofline, seed=SEED, slo_scale=slo_scale)
-        if trace == "bursty":
-            requests = gen.bursty(duration_s, rps, mix=mix)
-        elif trace == "steady":
-            requests = gen.steady(duration_s, rps, mix=mix)
-        else:
-            raise ValueError(f"unknown trace kind {trace!r}")
-        _REPORT_CACHE[key] = run_once(setup, system, requests, max_sim_time_s=1800.0)
-    return _REPORT_CACHE[key]
+    """Cached single-system run on a standard workload."""
+    config = standard_config(model, system, rps, duration_s, mix, slo_scale, trace)
+    runner = SweepRunner(cache=benchmark_cache(), jobs=1)
+    return runner.run([config])[0].report
 
 
 def rps_sweep(model: str, systems: tuple[str, ...] = E2E_SYSTEMS) -> list[SeriesPoint]:
     """The Figure 8/9/12 sweep: every system at every RPS point."""
-    key = (model, systems)
-    if key not in _SWEEP_CACHE:
-        points: list[SeriesPoint] = []
-        for rps in RPS_SWEEP[model]:
-            for system in systems:
-                report = run_system(model, system, rps)
-                points.append(
-                    point_from_metrics(rps, report.scheduler_name, report.metrics)
-                )
-        _SWEEP_CACHE[key] = points
-    return _SWEEP_CACHE[key]
+    configs = [
+        standard_config(model, system, rps)
+        for rps in RPS_SWEEP[model]
+        for system in systems
+    ]
+    runner = SweepRunner(cache=benchmark_cache(), jobs=benchmark_jobs())
+    return [
+        point_from_metrics(r.config.rps, r.report.scheduler_name, r.report.metrics)
+        for r in runner.run(configs)
+    ]
 
 
 @dataclass(frozen=True)

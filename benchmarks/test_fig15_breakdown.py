@@ -16,8 +16,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
-
 from benchmarks.common import SEED, run_system
 from repro.core.pipeline import BatchItem, run_iteration
 from repro.analysis.report import format_table

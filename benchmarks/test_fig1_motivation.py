@@ -8,7 +8,7 @@ vLLM+Priority meets SLO1 but congests category 2 badly.
 
 from __future__ import annotations
 
-from benchmarks.common import SEED, run_system, setup_for
+from benchmarks.common import run_system, setup_for
 from repro.analysis.report import format_table
 
 _SYSTEMS = ("vllm", "sarathi", "priority", "fastserve", "vtc")

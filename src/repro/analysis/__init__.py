@@ -1,5 +1,6 @@
-"""Experiment harness and result formatting."""
+"""Experiment harness, parallel runner, result cache, and formatting."""
 
+from repro.analysis.cache import SCHEMA_VERSION, CacheStats, ResultCache, config_key
 from repro.analysis.harness import (
     MODEL_SETUPS,
     SYSTEM_NAMES,
@@ -16,14 +17,30 @@ from repro.analysis.report import (
     point_from_metrics,
     series_table,
 )
+from repro.analysis.runner import (
+    ExperimentConfig,
+    SweepResult,
+    SweepRunner,
+    derive_seed,
+    execute_point,
+)
 
 __all__ = [
     "MODEL_SETUPS",
+    "SCHEMA_VERSION",
     "SYSTEM_NAMES",
+    "CacheStats",
+    "ExperimentConfig",
+    "ResultCache",
     "Setup",
     "SeriesPoint",
+    "SweepResult",
+    "SweepRunner",
     "best_baseline",
     "build_setup",
+    "config_key",
+    "derive_seed",
+    "execute_point",
     "format_table",
     "improvement_summary",
     "make_scheduler",

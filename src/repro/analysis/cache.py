@@ -1,0 +1,231 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Every experiment point (model, system, rps, seed, trace, ...) is a pure
+function of its configuration, so results are cached under a stable
+SHA-256 digest of the canonical-JSON configuration plus a schema version.
+Records are small JSON files laid out as::
+
+    <cache root>/
+        ab/
+            ab3f...e1.json      # {"schema": 1, "key": ..., "config": ..., "report": ...}
+
+Properties this buys:
+
+- repeated sweeps (CLI runs, pytest sessions, CI jobs) are near-instant:
+  a warm sweep executes **zero** simulations;
+- interrupted sweeps resume: each point is committed (atomically, via a
+  temp file + ``os.replace``) the moment it finishes;
+- schema evolution is safe: bumping :data:`SCHEMA_VERSION` changes every
+  key *and* invalidates any record read back with a stale in-record
+  version, so stale records are never served;
+- corrupted records (truncated writes, manual edits) are detected on
+  read, deleted, and transparently treated as misses.
+
+Keys also fold in a fingerprint of the simulator source tree
+(:func:`code_fingerprint`), so records produced by different code never
+collide: editing the simulator is an automatic cold cache, locally and
+in CI, with no manual bump required.  :data:`SCHEMA_VERSION` still
+guards the record layout itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Bump whenever simulator semantics or the record layout change.
+SCHEMA_VERSION = 1
+
+#: Default on-disk location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` if set, else ``.repro-cache``."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+_CODE_FINGERPRINT: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Digest of the simulator source tree (every ``repro/**/*.py``).
+
+    Folded into every cache key so that results simulated by different
+    code are distinct entries — a warm cache can never mask the effect
+    of a simulator change.  Computed once per process.
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+
+def _config_dict(config) -> dict:
+    """Normalize a config (mapping or object with ``to_dict``) to a dict."""
+    if isinstance(config, Mapping):
+        return dict(config)
+    to_dict = getattr(config, "to_dict", None)
+    if to_dict is None:
+        raise TypeError(f"config must be a mapping or have to_dict(): {config!r}")
+    return to_dict()
+
+
+def config_key(config) -> str:
+    """Stable content address of an experiment configuration.
+
+    SHA-256 over the canonical (sorted-key, compact) JSON of the config
+    dict together with :data:`SCHEMA_VERSION` and the simulator
+    :func:`code_fingerprint`.
+    """
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "code": code_fingerprint(),
+        "config": _config_dict(config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidated: int = 0  # corrupted or stale-schema records dropped
+
+    def summary(self) -> str:
+        """One-line report, e.g. for the CLI's cache-stats output."""
+        line = f"cache: {self.hits} hits, {self.misses} misses, {self.stores} stored"
+        if self.invalidated:
+            line += f", {self.invalidated} invalidated"
+        return line
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed store of simulation-report records.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first store).  ``None`` uses
+        :func:`default_cache_dir`.
+    """
+
+    root: Path = field(default_factory=default_cache_dir)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # ------------------------------------------------------------------
+    def key_for(self, config) -> str:
+        """Content address of ``config`` (see :func:`config_key`)."""
+        return config_key(config)
+
+    def path_for(self, config) -> Path:
+        """On-disk location of the record for ``config``."""
+        return self._path(self.key_for(config))
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, config) -> dict | None:
+        """The full record for ``config``, or ``None`` on a miss.
+
+        A record that cannot be parsed, lacks its report, or carries a
+        stale schema version is deleted and reported as a miss.
+        """
+        path = self.path_for(config)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.stats.misses += 1
+            return None
+        record = self._validate(text)
+        if record is None:
+            path.unlink(missing_ok=True)
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, config, report_dict: dict) -> Path:
+        """Atomically store a serialized report for ``config``."""
+        key = self.key_for(config)
+        path = self._path(key)
+        record = {
+            "schema": SCHEMA_VERSION,
+            "code": code_fingerprint(),
+            "key": key,
+            "config": _config_dict(config),
+            "report": report_dict,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(record, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def prune(self) -> int:
+        """Delete records the current code can never serve.
+
+        Keys embed the simulator :func:`code_fingerprint`, so every
+        source edit strands the previous records (unreachable but still
+        on disk).  Prune removes any record whose envelope doesn't match
+        the current schema + fingerprint, plus unparsable files and
+        temp files orphaned by interrupted atomic writes.
+        Returns the number of files removed.
+        """
+        if not self.root.is_dir():
+            return 0
+        current = code_fingerprint()
+        removed = 0
+        for path in sorted(self.root.rglob("*.json.tmp.*")):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for path in sorted(self.root.rglob("*.json")):
+            try:
+                record = self._validate(path.read_text(encoding="utf-8"))
+            except OSError:
+                continue
+            if record is None or record.get("code") != current:
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate(text: str) -> dict | None:
+        """Parse a record and check its envelope; ``None`` if unusable."""
+        try:
+            record = json.loads(text)
+        except ValueError:
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("schema") != SCHEMA_VERSION:
+            return None
+        if not isinstance(record.get("report"), dict):
+            return None
+        if not isinstance(record.get("config"), dict):
+            return None
+        return record

@@ -10,11 +10,27 @@ from __future__ import annotations
 import csv
 import io
 import json
+import math
 from typing import Iterable
 
+from repro.analysis.cache import ResultCache
 from repro.analysis.report import SeriesPoint
-from repro.serving.metrics import RunMetrics
+from repro.serving.metrics import CategoryMetrics, RunMetrics
 from repro.serving.server import SimulationReport
+
+
+def _nan_to_null(value: float) -> float | None:
+    """NaN sentinels (undefined category stats) as JSON null, not ``NaN``.
+
+    Python's ``json`` emits a bare ``NaN`` token, which is invalid strict
+    JSON and unreadable by non-Python consumers.
+    """
+    return None if math.isnan(value) else value
+
+
+def _null_to_nan(value: float | None) -> float:
+    """Inverse of :func:`_nan_to_null`."""
+    return float("nan") if value is None else value
 
 
 def metrics_to_dict(metrics: RunMetrics) -> dict:
@@ -34,15 +50,44 @@ def metrics_to_dict(metrics: RunMetrics) -> dict:
         "per_category": {
             name: {
                 "num_requests": cm.num_requests,
+                "num_attained": cm.num_attained,
                 "attainment": cm.attainment,
-                "mean_tpot_s": cm.mean_tpot_s,
-                "p99_tpot_s": cm.p99_tpot_s,
-                "mean_ttft_s": cm.mean_ttft_s,
-                "p99_ttft_s": cm.p99_ttft_s,
+                "mean_tpot_s": _nan_to_null(cm.mean_tpot_s),
+                "p99_tpot_s": _nan_to_null(cm.p99_tpot_s),
+                "mean_ttft_s": _nan_to_null(cm.mean_ttft_s),
+                "p99_ttft_s": _nan_to_null(cm.p99_ttft_s),
             }
             for name, cm in metrics.per_category.items()
         },
     }
+
+
+def metrics_from_dict(d: dict) -> RunMetrics:
+    """Inverse of :func:`metrics_to_dict` (derived fields recomputed)."""
+    per_category = {}
+    for name, cd in d.get("per_category", {}).items():
+        num_attained = cd.get("num_attained")
+        if num_attained is None:  # pre-num_attained records
+            num_attained = round(cd["attainment"] * cd["num_requests"])
+        per_category[name] = CategoryMetrics(
+            name=name,
+            num_requests=cd["num_requests"],
+            num_attained=num_attained,
+            mean_tpot_s=_null_to_nan(cd["mean_tpot_s"]),
+            p99_tpot_s=_null_to_nan(cd["p99_tpot_s"]),
+            mean_ttft_s=_null_to_nan(cd.get("mean_ttft_s")),
+            p99_ttft_s=_null_to_nan(cd.get("p99_ttft_s")),
+        )
+    return RunMetrics(
+        num_requests=d["num_requests"],
+        num_finished=d["num_finished"],
+        num_attained=d["num_attained"],
+        total_tokens=d["total_tokens"],
+        attained_tokens=d["attained_tokens"],
+        span_s=d["span_s"],
+        mean_accepted_per_verify=d["mean_accepted_per_verify"],
+        per_category=per_category,
+    )
 
 
 def report_to_dict(report: SimulationReport) -> dict:
@@ -54,6 +99,26 @@ def report_to_dict(report: SimulationReport) -> dict:
         "phase_breakdown": dict(report.phase_breakdown),
         "metrics": metrics_to_dict(report.metrics),
     }
+
+
+def report_from_dict(d: dict) -> SimulationReport:
+    """Inverse of :func:`report_to_dict`.
+
+    Per-request detail is not serialized, so the reconstructed report has
+    an empty ``requests`` list; every aggregate (metrics, phase breakdown,
+    iteration counts) round-trips exactly.  Undefined category statistics
+    (a category with no finished requests) round-trip as NaN via JSON
+    null — numerically faithful, though ``==`` on such metrics is False
+    by NaN semantics.
+    """
+    return SimulationReport(
+        scheduler_name=d["scheduler"],
+        metrics=metrics_from_dict(d["metrics"]),
+        sim_time_s=d["sim_time_s"],
+        iterations=d["iterations"],
+        phase_breakdown=dict(d["phase_breakdown"]),
+        requests=[],
+    )
 
 
 def report_to_json(report: SimulationReport, indent: int = 2) -> str:
@@ -89,6 +154,40 @@ def points_to_json(points: Iterable[SeriesPoint], indent: int = 2) -> str:
         for p in sorted(points, key=lambda p: (p.x, p.system))
     ]
     return json.dumps(payload, indent=indent)
+
+
+def point_from_record(record: dict) -> SeriesPoint:
+    """One figure cell read straight from a cache record.
+
+    ``record`` is the envelope stored by :class:`ResultCache` (``config``
+    + ``report``); the x-coordinate is the configured RPS.
+    """
+    config = record["config"]
+    report = record["report"]
+    m = report["metrics"]
+    return SeriesPoint(
+        x=config["rps"],
+        system=report["scheduler"],
+        attainment=m["attainment"],
+        goodput=m["goodput"],
+        violation_rate=m["violation_rate"],
+        mean_accepted=m["mean_accepted_per_verify"],
+    )
+
+
+def points_from_cache(cache: ResultCache, configs: Iterable) -> list[SeriesPoint]:
+    """Series for a config grid, read directly from cache records.
+
+    Raises ``KeyError`` on the first config without a cached result (run
+    the grid through ``repro.analysis.runner`` first).
+    """
+    points = []
+    for config in configs:
+        record = cache.get(config)
+        if record is None:
+            raise KeyError(f"no cached result for config {cache.key_for(config)}")
+        points.append(point_from_record(record))
+    return points
 
 
 def points_from_json(text: str) -> list[SeriesPoint]:

@@ -1,0 +1,248 @@
+"""Parallel experiment runner over the (system, model, rps, seed, trace) grid.
+
+The sweeps behind Figures 8-15 are embarrassingly parallel: every point
+is an independent simulation, a pure function of its
+:class:`ExperimentConfig`.  :class:`SweepRunner` fans points out across a
+``ProcessPoolExecutor`` and commits each finished point to a
+:class:`~repro.analysis.cache.ResultCache`, so
+
+- ``jobs=N`` produces results identical to the serial path (points carry
+  their full configuration, including the workload seed — nothing depends
+  on execution order or worker identity);
+- a warm cache answers a whole sweep with zero simulations;
+- an interrupted sweep resumes from the points already committed.
+
+Results are returned in input order regardless of completion order.  To
+keep cached and freshly-executed results indistinguishable, every report
+is round-tripped through its JSON record form (per-request detail is
+dropped; all aggregates survive exactly).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, replace
+
+from repro._rng import MASK64, hash_seed, mix
+from repro.analysis.cache import ResultCache, config_key
+from repro.analysis.export import report_from_dict, report_to_dict
+from repro.analysis.harness import Setup, build_setup, run_once
+from repro.serving.request import Request
+from repro.serving.server import SimulationReport
+from repro.workloads.generator import WorkloadGenerator
+
+#: Trace kinds :func:`build_workload` understands.
+TRACE_KINDS = ("bursty", "steady", "phased")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Complete description of one simulation point.
+
+    Every field participates in the cache key, so anything that can
+    change a result (notably the workload ``seed`` and ``trace`` kind)
+    is explicit here rather than implied by call-site defaults.
+    """
+
+    model: str
+    system: str
+    rps: float
+    duration_s: float
+    seed: int
+    trace: str = "bursty"
+    slo_scale: float = 1.0
+    mix: tuple[tuple[str, float], ...] | None = None
+    max_sim_time_s: float = 1800.0
+
+    @classmethod
+    def create(
+        cls,
+        model: str,
+        system: str,
+        rps: float,
+        duration_s: float,
+        seed: int,
+        trace: str = "bursty",
+        slo_scale: float = 1.0,
+        mix: Mapping[str, float] | None = None,
+        max_sim_time_s: float = 1800.0,
+    ) -> "ExperimentConfig":
+        """Build a config, normalizing ``mix`` to a canonical tuple."""
+        if trace not in TRACE_KINDS:
+            raise ValueError(f"unknown trace kind {trace!r}; available: {TRACE_KINDS}")
+        return cls(
+            model=model,
+            system=system,
+            rps=float(rps),
+            duration_s=float(duration_s),
+            seed=int(seed),
+            trace=trace,
+            slo_scale=float(slo_scale),
+            mix=tuple(sorted(mix.items())) if mix else None,
+            max_sim_time_s=float(max_sim_time_s),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (the cache-key payload)."""
+        return {
+            "model": self.model,
+            "system": self.system,
+            "rps": self.rps,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "trace": self.trace,
+            "slo_scale": self.slo_scale,
+            "mix": [list(pair) for pair in self.mix] if self.mix else None,
+            "max_sim_time_s": self.max_sim_time_s,
+        }
+
+    def digest(self) -> str:
+        """Content address of this config (see :func:`~repro.analysis.cache.config_key`)."""
+        return config_key(self)
+
+    def with_replica(self, index: int) -> "ExperimentConfig":
+        """Copy with a replica seed derived deterministically via ``repro._rng``."""
+        return replace(self, seed=derive_seed(self.seed, "replica", index))
+
+
+def derive_seed(base_seed: int, *parts: object) -> int:
+    """Deterministic per-point seed from a base seed plus labels.
+
+    Uses the repository's splitmix64 mixing (:mod:`repro._rng`) so seed
+    derivation is stable across processes, platforms, and Python hash
+    randomization.  Returns a non-negative 63-bit integer.
+    """
+    h = hash_seed(int(base_seed) & MASK64)
+    for part in parts:
+        if isinstance(part, int):
+            h = mix(h, part & MASK64)
+        else:
+            for byte in str(part).encode("utf-8"):
+                h = mix(h, byte)
+    return h >> 1
+
+
+def build_workload(setup: Setup, config: ExperimentConfig) -> list[Request]:
+    """The request trace for a config (same recipe as the CLI/benchmarks)."""
+    gen = WorkloadGenerator(
+        setup.target_roofline, seed=config.seed, slo_scale=config.slo_scale
+    )
+    mix = dict(config.mix) if config.mix else None
+    if config.trace == "bursty":
+        return gen.bursty(config.duration_s, config.rps, mix=mix)
+    if config.trace == "steady":
+        return gen.steady(config.duration_s, config.rps, mix=mix)
+    if config.trace == "phased":
+        return gen.phased(config.duration_s, peak_rps=config.rps)
+    raise ValueError(f"unknown trace kind {config.trace!r}")
+
+
+def execute_point(config: ExperimentConfig) -> dict:
+    """Run one simulation point and return its serialized report.
+
+    Top-level (picklable) so it can serve as the process-pool worker;
+    deterministic given ``config``.
+    """
+    setup = build_setup(config.model, seed=config.seed)
+    requests = build_workload(setup, config)
+    report = run_once(
+        setup, config.system, requests, max_sim_time_s=config.max_sim_time_s
+    )
+    return report_to_dict(report)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One completed point: its config, cache key, report, and provenance."""
+
+    config: ExperimentConfig
+    key: str
+    report: SimulationReport
+    from_cache: bool
+
+
+class SweepRunner:
+    """Executes config grids, in parallel, through the result cache.
+
+    Parameters
+    ----------
+    cache:
+        Result store consulted before and populated after each point;
+        ``None`` disables caching entirely.
+    jobs:
+        Worker processes for cache-missing points.  ``1`` runs in-process
+        (still through the same ``execute_point`` path, so parallel and
+        serial sweeps are bit-identical).
+    """
+
+    def __init__(self, cache: ResultCache | None = None, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.cache = cache
+        self.jobs = jobs
+        self.executed = 0  # simulations actually run (cache misses)
+
+    def run(
+        self,
+        configs: Iterable[ExperimentConfig],
+        on_result: Callable[[SweepResult], None] | None = None,
+    ) -> list[SweepResult]:
+        """All points of a grid, in input order.
+
+        ``on_result`` (if given) fires once per point as it completes —
+        cache hits first, then simulations in completion order.
+        """
+        grid: Sequence[ExperimentConfig] = list(configs)
+        results: list[SweepResult | None] = [None] * len(grid)
+
+        # Resolve cache hits up front; group the misses by digest so a
+        # grid with duplicate points simulates each point once.
+        pending: dict[str, list[int]] = {}
+        for i, config in enumerate(grid):
+            key = config.digest()
+            record = self.cache.get(config) if self.cache is not None else None
+            if record is not None:
+                results[i] = SweepResult(
+                    config, key, report_from_dict(record["report"]), True
+                )
+                if on_result:
+                    on_result(results[i])
+            else:
+                pending.setdefault(key, []).append(i)
+
+        def finish(key: str, indices: list[int], report_dict: dict) -> None:
+            self.executed += 1
+            if self.cache is not None:
+                self.cache.put(grid[indices[0]], report_dict)
+            for i in indices:
+                results[i] = SweepResult(
+                    grid[i], key, report_from_dict(report_dict), False
+                )
+                if on_result:
+                    on_result(results[i])
+
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                for key, indices in pending.items():
+                    finish(key, indices, execute_point(grid[indices[0]]))
+            else:
+                workers = min(self.jobs, len(pending), os.cpu_count() or 1)
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        pool.submit(execute_point, grid[indices[0]]): (key, indices)
+                        for key, indices in pending.items()
+                    }
+                    for future in as_completed(futures):
+                        key, indices = futures[future]
+                        finish(key, indices, future.result())
+
+        return [r for r in results if r is not None]
+
+    def stats_line(self) -> str:
+        """One-line summary: cache traffic plus simulations executed."""
+        prefix = (
+            self.cache.stats.summary() if self.cache is not None else "cache: disabled"
+        )
+        return f"{prefix}; simulations executed: {self.executed}"

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.serving.request import Request
 from repro.serving.scheduler_base import Scheduler
 
 #: Weight of a prompt token relative to an output token in the counter

@@ -6,12 +6,17 @@ Three subcommands mirror how the repository is used:
 - ``sweep``: the Figure 8/9 RPS sweep for a set of systems;
 - ``profile``: hardware profiling (Table 1 derived quantities).
 
+``run`` and ``sweep`` execute through the content-addressed result cache
+(:mod:`repro.analysis.cache`), so repeating an already-computed point or
+grid performs zero simulations; ``sweep --jobs N`` fans cache-missing
+points out over worker processes with results identical to ``--jobs 1``.
+
 Examples
 --------
 ::
 
     python -m repro run --system adaserve --model llama70b --rps 4.0
-    python -m repro sweep --model qwen32b --systems adaserve vllm --rps 2.4 3.2 4.0
+    python -m repro sweep --model qwen32b --systems adaserve vllm --rps 2.4 3.2 4.0 --jobs 4
     python -m repro profile --model llama70b
 """
 
@@ -20,11 +25,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.harness import MODEL_SETUPS, SYSTEM_NAMES, build_setup, run_once
+from repro.analysis.cache import ResultCache
+from repro.analysis.harness import MODEL_SETUPS, SYSTEM_NAMES, build_setup
 from repro.analysis.report import format_table, point_from_metrics, series_table
+from repro.analysis.runner import ExperimentConfig, SweepRunner
 from repro.hardware.profiler import HardwareProfiler
 from repro.workloads.categories import urgent_mix
-from repro.workloads.generator import WorkloadGenerator
 
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
@@ -43,20 +49,55 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--slo-scale", type=float, default=1.0)
 
 
-def _build_workload(setup, args, rps: float):
-    gen = WorkloadGenerator(setup.target_roofline, seed=args.seed, slo_scale=args.slo_scale)
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_cache_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the result cache",
+    )
+
+
+def _resolve_cache(cache_dir: str | None) -> ResultCache:
+    return ResultCache(cache_dir) if cache_dir else ResultCache()
+
+
+def _make_cache(args) -> ResultCache | None:
+    if args.no_cache:
+        return None
+    return _resolve_cache(args.cache_dir)
+
+
+def _config_for(args, system: str, rps: float) -> ExperimentConfig:
     mix = urgent_mix(args.urgent_fraction) if args.urgent_fraction is not None else None
-    if args.trace == "bursty":
-        return gen.bursty(args.duration, rps, mix=mix)
-    if args.trace == "steady":
-        return gen.steady(args.duration, rps, mix=mix)
-    return gen.phased(args.duration, peak_rps=rps)
+    return ExperimentConfig.create(
+        model=args.model,
+        system=system,
+        rps=rps,
+        duration_s=args.duration,
+        seed=args.seed,
+        trace=args.trace,
+        slo_scale=args.slo_scale,
+        mix=mix,
+        max_sim_time_s=args.max_sim_time,
+    )
 
 
 def _cmd_run(args) -> int:
-    setup = build_setup(args.model, seed=args.seed)
-    requests = _build_workload(setup, args, args.rps)
-    report = run_once(setup, args.system, requests, max_sim_time_s=args.max_sim_time)
+    runner = SweepRunner(cache=_make_cache(args), jobs=1)
+    result = runner.run([_config_for(args, args.system, args.rps)])[0]
+    report = result.report
     m = report.metrics
     print(f"system: {report.scheduler_name}   model: {args.model}   requests: {m.num_requests}")
     print(
@@ -68,22 +109,45 @@ def _cmd_run(args) -> int:
         for cat, cm in m.per_category.items()
     ]
     print(format_table(["category", "attainment", "mean TPOT ms", "p99 TPOT ms", "n"], rows))
+    print(runner.stats_line())
     return 0
 
 
 def _cmd_sweep(args) -> int:
-    setup = build_setup(args.model, seed=args.seed)
-    points = []
-    for rps in args.rps:
-        requests = _build_workload(setup, args, rps)
-        for system in args.systems:
-            report = run_once(setup, system, requests, max_sim_time_s=args.max_sim_time)
-            points.append(point_from_metrics(rps, report.scheduler_name, report.metrics))
-            print(f"  done: rps={rps} {report.scheduler_name}", file=sys.stderr)
+    cache = _make_cache(args)
+    runner = SweepRunner(cache=cache, jobs=args.jobs)
+    configs = [
+        _config_for(args, system, rps) for rps in args.rps for system in args.systems
+    ]
+
+    def progress(result) -> None:
+        source = "cached" if result.from_cache else "simulated"
+        print(
+            f"  done: rps={result.config.rps:g} {result.report.scheduler_name} ({source})",
+            file=sys.stderr,
+        )
+
+    results = runner.run(configs, on_result=progress)
+    stats_line = runner.stats_line()
+    # Reports are already round-tripped through their cache-record form,
+    # so cached and fresh points are identical here.
+    points = [
+        point_from_metrics(r.config.rps, r.report.scheduler_name, r.report.metrics)
+        for r in results
+    ]
     print("\nSLO attainment:")
     print(series_table(points, value="attainment", x_label="RPS"))
     print("\nGoodput (tokens/s):")
     print(series_table(points, value="goodput", x_label="RPS"))
+    print()
+    print(stats_line)
+    return 0
+
+
+def _cmd_cache_prune(args) -> int:
+    cache = _resolve_cache(args.cache_dir)
+    removed = cache.prune()
+    print(f"removed {removed} stale record(s) from {cache.root}")
     return 0
 
 
@@ -110,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="serve one workload with one system")
     _add_workload_args(p_run)
+    _add_cache_args(p_run)
     p_run.add_argument("--system", choices=SYSTEM_NAMES, default="adaserve")
     p_run.add_argument("--rps", type=float, default=4.0)
     p_run.add_argument("--max-sim-time", type=float, default=1800.0)
@@ -117,10 +182,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="RPS sweep over systems")
     _add_workload_args(p_sweep)
+    _add_cache_args(p_sweep)
+    p_sweep.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for cache-missing points (default: 1, serial)",
+    )
     p_sweep.add_argument("--systems", nargs="+", choices=SYSTEM_NAMES, default=["adaserve", "vllm"])
     p_sweep.add_argument("--rps", nargs="+", type=float, default=[2.6, 3.4, 4.2])
     p_sweep.add_argument("--max-sim-time", type=float, default=1800.0)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_prune = sub.add_parser(
+        "cache-prune",
+        help="delete cache records stranded by simulator or schema changes",
+    )
+    p_prune.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p_prune.set_defaults(func=_cmd_cache_prune)
 
     p_prof = sub.add_parser("profile", help="hardware profiling for a deployment")
     p_prof.add_argument("--model", choices=sorted(MODEL_SETUPS), default="llama70b")

@@ -28,7 +28,7 @@ from repro.core.selection import DEFAULT_N_MAX
 from repro.hardware.profiler import HardwareProfiler
 from repro.serving.engine import SimulatedEngine
 from repro.serving.kv_cache import OutOfKVCache
-from repro.serving.request import Request, RequestState
+from repro.serving.request import Request
 from repro.serving.scheduler_base import Scheduler
 
 #: Prompt tokens co-batched into each verification pass (chunked prefill).

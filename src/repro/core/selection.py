@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.tree import TokenTree, TreeNode
 

@@ -24,7 +24,7 @@ acceptance rates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro._rng import hash_seed, mix, splitmix64, uniform, uniforms
 from repro.model.vocab import Vocabulary

@@ -20,7 +20,7 @@ accumulates per-phase busy time for the Figure 15 breakdown.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro._rng import hash_seed
 from repro.hardware.cuda_graph import CudaGraphModel

@@ -4,8 +4,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
-
 from repro.core.speculation import build_candidate_tree
 from repro.core.tree import TokenTree
 from repro.model.acceptance import (

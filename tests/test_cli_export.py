@@ -7,10 +7,13 @@ import json
 import pytest
 
 from repro.analysis.export import (
+    metrics_from_dict,
     metrics_to_dict,
+    point_from_record,
     points_from_json,
     points_to_csv,
     points_to_json,
+    report_from_dict,
     report_to_dict,
     report_to_json,
 )
@@ -65,6 +68,38 @@ class TestExport:
         parsed = json.loads(report_to_json(report))
         assert parsed["iterations"] == report.iterations
 
+    def test_metrics_dict_roundtrip(self):
+        m = compute_metrics([_finished_request()])
+        back = metrics_from_dict(metrics_to_dict(m))
+        assert back == m
+        assert back.attainment == m.attainment
+        assert back.per_category.keys() == m.per_category.keys()
+
+    def test_report_dict_roundtrip(self, engine):
+        from repro.baselines.vllm import VLLMScheduler
+        from repro.serving.server import ServingSimulator
+
+        reqs = [make_request(rid=0, prompt_len=10, max_new_tokens=3)]
+        report = ServingSimulator(engine, VLLMScheduler(engine), reqs).run()
+        back = report_from_dict(report_to_dict(report))
+        assert back.scheduler_name == report.scheduler_name
+        assert back.metrics == report.metrics
+        assert back.phase_breakdown == report.phase_breakdown
+        assert back.iterations == report.iterations
+        assert back.requests == []  # per-request detail is not serialized
+
+    def test_point_from_record(self, engine):
+        from repro.baselines.vllm import VLLMScheduler
+        from repro.serving.server import ServingSimulator
+
+        reqs = [make_request(rid=0, prompt_len=10, max_new_tokens=3)]
+        report = ServingSimulator(engine, VLLMScheduler(engine), reqs).run()
+        record = {"config": {"rps": 2.5}, "report": report_to_dict(report)}
+        p = point_from_record(record)
+        assert p.x == 2.5
+        assert p.system == "vLLM"
+        assert p.goodput == report.metrics.goodput
+
 
 class TestCLI:
     def test_parser_subcommands(self):
@@ -99,9 +134,72 @@ class TestCLI:
     def test_sweep_command_small(self, capsys):
         rc = main(
             ["sweep", "--systems", "vllm", "--rps", "1.0", "--duration", "4",
-             "--trace", "steady"]
+             "--trace", "steady", "--no-cache"]
         )
         assert rc == 0
         out = capsys.readouterr().out
         assert "SLO attainment" in out
         assert "Goodput" in out
+        assert "cache: disabled" in out
+
+
+class TestCLICache:
+    _RUN = ["run", "--system", "vllm", "--rps", "1.0", "--duration", "4",
+            "--trace", "steady"]
+    _SWEEP = ["sweep", "--systems", "vllm", "sarathi", "--rps", "1.0", "2.0",
+              "--duration", "4", "--trace", "steady"]
+
+    def test_parser_cache_flags(self):
+        args = build_parser().parse_args(self._SWEEP + ["--jobs", "4", "--no-cache"])
+        assert args.jobs == 4
+        assert args.no_cache
+        args = build_parser().parse_args(self._RUN + ["--cache-dir", "/tmp/x"])
+        assert args.cache_dir == "/tmp/x"
+
+    def test_jobs_rejected_where_meaningless_or_invalid(self):
+        with pytest.raises(SystemExit):  # run is a single point; no --jobs
+            build_parser().parse_args(self._RUN + ["--jobs", "2"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(self._SWEEP + ["--jobs", "0"])
+
+    def test_cache_prune_command(self, capsys, tmp_path):
+        argv = self._RUN + ["--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # Strand the record by rewriting its embedded code fingerprint.
+        [path] = list(tmp_path.rglob("*.json"))
+        record = json.loads(path.read_text())
+        record["code"] = "an-older-simulator"
+        path.write_text(json.dumps(record))
+        assert main(["cache-prune", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 1 stale record(s)" in capsys.readouterr().out
+        assert not path.exists()
+        assert main(["cache-prune", "--cache-dir", str(tmp_path)]) == 0
+        assert "removed 0 stale record(s)" in capsys.readouterr().out
+
+    def test_repeated_run_hits_cache(self, capsys, tmp_path):
+        argv = self._RUN + ["--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "simulations executed: 1" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "simulations executed: 0" in warm
+        # Identical results whether simulated or read back from cache.
+        def strip(text):
+            return [ln for ln in text.splitlines() if not ln.startswith("cache:")]
+
+        assert strip(cold) == strip(warm)
+
+    def test_repeated_sweep_runs_zero_simulations(self, capsys, tmp_path):
+        argv = self._SWEEP + ["--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert "simulations executed: 4" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "simulations executed: 0" in capsys.readouterr().out
+
+    def test_no_cache_writes_nothing(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(self._RUN + ["--no-cache"]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "cache").exists()
