@@ -73,3 +73,20 @@ def randint(h: int, salt: int, lo: int, hi: int) -> int:
     if span <= 0:
         raise ValueError(f"empty range [{lo}, {hi})")
     return lo + splitmix64((h ^ (salt * _COMBINE)) & MASK64) % span
+
+
+def derive_seed(base_seed: int, *parts: object) -> int:
+    """Deterministic sub-seed from a base seed plus labels.
+
+    Labels may be ints or strings (folded byte-by-byte), so seed
+    derivation is stable across processes, platforms, and Python hash
+    randomization.  Returns a non-negative 63-bit integer.
+    """
+    h = hash_seed(int(base_seed) & MASK64)
+    for part in parts:
+        if isinstance(part, int):
+            h = mix(h, part & MASK64)
+        else:
+            for byte in str(part).encode("utf-8"):
+                h = mix(h, byte)
+    return h >> 1

@@ -7,6 +7,7 @@ from repro.analysis.harness import (
     Setup,
     build_setup,
     make_scheduler,
+    run_cluster,
     run_once,
 )
 from repro.analysis.report import (
@@ -45,6 +46,7 @@ __all__ = [
     "improvement_summary",
     "make_scheduler",
     "point_from_metrics",
+    "run_cluster",
     "run_once",
     "series_table",
 ]

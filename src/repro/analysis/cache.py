@@ -38,7 +38,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 #: Bump whenever simulator semantics or the record layout change.
-SCHEMA_VERSION = 1
+#: 2: cluster fields (replicas/router/autoscale) in configs, p50 latency
+#: stats in category metrics — old records cold-start.
+SCHEMA_VERSION = 2
 
 #: Default on-disk location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"

@@ -53,8 +53,10 @@ def metrics_to_dict(metrics: RunMetrics) -> dict:
                 "num_attained": cm.num_attained,
                 "attainment": cm.attainment,
                 "mean_tpot_s": _nan_to_null(cm.mean_tpot_s),
+                "p50_tpot_s": _nan_to_null(cm.p50_tpot_s),
                 "p99_tpot_s": _nan_to_null(cm.p99_tpot_s),
                 "mean_ttft_s": _nan_to_null(cm.mean_ttft_s),
+                "p50_ttft_s": _nan_to_null(cm.p50_ttft_s),
                 "p99_ttft_s": _nan_to_null(cm.p99_ttft_s),
             }
             for name, cm in metrics.per_category.items()
@@ -77,6 +79,8 @@ def metrics_from_dict(d: dict) -> RunMetrics:
             p99_tpot_s=_null_to_nan(cd["p99_tpot_s"]),
             mean_ttft_s=_null_to_nan(cd.get("mean_ttft_s")),
             p99_ttft_s=_null_to_nan(cd.get("p99_ttft_s")),
+            p50_tpot_s=_null_to_nan(cd.get("p50_tpot_s")),
+            p50_ttft_s=_null_to_nan(cd.get("p50_ttft_s")),
         )
     return RunMetrics(
         num_requests=d["num_requests"],
@@ -122,8 +126,10 @@ def report_from_dict(d: dict) -> SimulationReport:
 
 
 def report_to_json(report: SimulationReport, indent: int = 2) -> str:
-    """JSON text of a simulation report."""
-    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+    """Strict JSON text of a simulation report (no NaN/Infinity tokens)."""
+    return json.dumps(
+        report_to_dict(report), indent=indent, sort_keys=True, allow_nan=False
+    )
 
 
 def points_to_csv(points: Iterable[SeriesPoint]) -> str:
@@ -153,7 +159,7 @@ def points_to_json(points: Iterable[SeriesPoint], indent: int = 2) -> str:
         }
         for p in sorted(points, key=lambda p: (p.x, p.system))
     ]
-    return json.dumps(payload, indent=indent)
+    return json.dumps(payload, indent=indent, allow_nan=False)
 
 
 def point_from_record(record: dict) -> SeriesPoint:

@@ -8,15 +8,19 @@ system construction is identical everywhere:
 - :func:`make_scheduler` instantiates any of the seven evaluated systems
   by name;
 - :func:`run_once` executes one (system, workload) simulation and returns
-  the report.
+  the report;
+- :func:`run_cluster` executes the same workload against a router-fronted
+  fleet of replicas (see :mod:`repro.cluster`).
 
-Engines and schedulers are stateful, so a fresh pair is built per run.
+Engines and schedulers are stateful, so a fresh pair is built per run
+(per replica, for fleets).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+from repro._rng import derive_seed
 from repro.baselines import (
     FastServeScheduler,
     PriorityScheduler,
@@ -26,6 +30,9 @@ from repro.baselines import (
     VLLMSpecScheduler,
     VTCScheduler,
 )
+from repro.cluster.autoscaler import AutoscalerConfig
+from repro.cluster.fleet import FleetReport, FleetSimulator
+from repro.cluster.router import make_router
 from repro.core.scheduler import AdaServeScheduler
 from repro.hardware.roofline import RooflineModel
 from repro.hardware.spec import DEPLOYMENT_PRESETS, DeploymentSpec
@@ -116,18 +123,9 @@ def make_scheduler(system: str, engine: SimulatedEngine, **overrides) -> Schedul
     raise KeyError(f"unknown system {system!r}; available: {SYSTEM_NAMES}")
 
 
-def run_once(
-    setup: Setup,
-    system: str,
-    requests: list[Request],
-    max_sim_time_s: float = 7200.0,
-    **scheduler_overrides,
-) -> SimulationReport:
-    """Run one system over one workload on a fresh engine."""
-    engine = setup.build_engine()
-    scheduler = make_scheduler(system, engine, **scheduler_overrides)
-    # Requests are mutated during a run; give each run a private copy.
-    cloned = [
+def _clone_requests(requests: list[Request]) -> list[Request]:
+    """Requests are mutated during a run; give each run a private copy."""
+    return [
         Request(
             rid=r.rid,
             category=r.category,
@@ -140,5 +138,59 @@ def run_once(
         )
         for r in requests
     ]
-    sim = ServingSimulator(engine, scheduler, cloned, max_sim_time_s=max_sim_time_s)
+
+
+def run_once(
+    setup: Setup,
+    system: str,
+    requests: list[Request],
+    max_sim_time_s: float = 7200.0,
+    **scheduler_overrides,
+) -> SimulationReport:
+    """Run one system over one workload on a fresh engine."""
+    engine = setup.build_engine()
+    scheduler = make_scheduler(system, engine, **scheduler_overrides)
+    sim = ServingSimulator(
+        engine, scheduler, _clone_requests(requests), max_sim_time_s=max_sim_time_s
+    )
     return sim.run()
+
+
+def run_cluster(
+    setup: Setup,
+    system: str,
+    requests: list[Request],
+    replicas: int = 2,
+    router: str = "round-robin",
+    autoscale: dict | None = None,
+    max_sim_time_s: float = 7200.0,
+    **scheduler_overrides,
+) -> FleetReport:
+    """Run one system as a router-fronted fleet over one workload.
+
+    Each replica gets a fresh engine + scheduler built from ``setup``
+    with a per-replica derived seed (so replica engines are independent
+    but the whole fleet is a pure function of ``setup.seed``).  Passing
+    ``autoscale`` (a mapping of :class:`AutoscalerConfig` overrides)
+    enables autoscaling; its ``max_replicas`` defaults to twice the
+    initial fleet when unset.
+    """
+
+    def replica_factory(index: int):
+        replica_setup = replace(setup, seed=derive_seed(setup.seed, "fleet", index))
+        engine = replica_setup.build_engine()
+        return engine, make_scheduler(system, engine, **scheduler_overrides)
+
+    autoscaler_config = None
+    if autoscale is not None:
+        autoscaler_config = AutoscalerConfig.resolve(autoscale, initial_replicas=replicas)
+
+    fleet = FleetSimulator(
+        replica_factory,
+        _clone_requests(requests),
+        make_router(router, seed=derive_seed(setup.seed, "router")),
+        num_replicas=replicas,
+        autoscaler_config=autoscaler_config,
+        max_sim_time_s=max_sim_time_s,
+    )
+    return fleet.run()

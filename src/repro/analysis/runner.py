@@ -23,18 +23,20 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from collections.abc import Callable, Iterable, Mapping, Sequence
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
-from repro._rng import MASK64, hash_seed, mix
+from repro._rng import derive_seed
 from repro.analysis.cache import ResultCache, config_key
 from repro.analysis.export import report_from_dict, report_to_dict
-from repro.analysis.harness import Setup, build_setup, run_once
+from repro.analysis.harness import Setup, build_setup, run_cluster, run_once
+from repro.cluster.autoscaler import AutoscalerConfig
+from repro.cluster.router import ROUTER_NAMES
 from repro.serving.request import Request
 from repro.serving.server import SimulationReport
 from repro.workloads.generator import WorkloadGenerator
 
 #: Trace kinds :func:`build_workload` understands.
-TRACE_KINDS = ("bursty", "steady", "phased")
+TRACE_KINDS = ("bursty", "steady", "phased", "diurnal")
 
 
 @dataclass(frozen=True)
@@ -55,6 +57,10 @@ class ExperimentConfig:
     slo_scale: float = 1.0
     mix: tuple[tuple[str, float], ...] | None = None
     max_sim_time_s: float = 1800.0
+    # Cluster fields (replicas == 1 with no autoscale is the solo path).
+    replicas: int = 1
+    router: str = "round-robin"
+    autoscale: tuple[tuple[str, float], ...] | None = None
 
     @classmethod
     def create(
@@ -68,10 +74,32 @@ class ExperimentConfig:
         slo_scale: float = 1.0,
         mix: Mapping[str, float] | None = None,
         max_sim_time_s: float = 1800.0,
+        replicas: int = 1,
+        router: str = "round-robin",
+        autoscale: Mapping[str, float] | None = None,
     ) -> "ExperimentConfig":
-        """Build a config, normalizing ``mix`` to a canonical tuple."""
+        """Build a config, normalizing ``mix``/``autoscale`` to tuples.
+
+        Semantically identical points must hash identically, so inert or
+        defaulted choices are canonicalized away: solo points (one
+        replica, no autoscaling) never consult a router, so ``router``
+        collapses to the default there, and ``autoscale`` knobs are
+        resolved against :class:`AutoscalerConfig` defaults (with the
+        2x-initial-fleet ceiling) before entering the key — spelling out
+        a default explicitly cannot fork the cache.
+        """
         if trace not in TRACE_KINDS:
             raise ValueError(f"unknown trace kind {trace!r}; available: {TRACE_KINDS}")
+        if router not in ROUTER_NAMES:
+            raise ValueError(f"unknown router {router!r}; available: {ROUTER_NAMES}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if replicas == 1 and autoscale is None:
+            router = "round-robin"
+        canonical_autoscale = None
+        if autoscale is not None:
+            resolved = AutoscalerConfig.resolve(autoscale, initial_replicas=replicas)
+            canonical_autoscale = tuple(sorted(asdict(resolved).items()))
         return cls(
             model=model,
             system=system,
@@ -82,6 +110,9 @@ class ExperimentConfig:
             slo_scale=float(slo_scale),
             mix=tuple(sorted(mix.items())) if mix else None,
             max_sim_time_s=float(max_sim_time_s),
+            replicas=int(replicas),
+            router=router,
+            autoscale=canonical_autoscale,
         )
 
     def to_dict(self) -> dict:
@@ -96,7 +127,19 @@ class ExperimentConfig:
             "slo_scale": self.slo_scale,
             "mix": [list(pair) for pair in self.mix] if self.mix else None,
             "max_sim_time_s": self.max_sim_time_s,
+            "replicas": self.replicas,
+            "router": self.router,
+            "autoscale": (
+                [list(pair) for pair in self.autoscale]
+                if self.autoscale is not None
+                else None
+            ),
         }
+
+    @property
+    def is_cluster(self) -> bool:
+        """Whether this point runs the fleet path rather than one engine."""
+        return self.replicas > 1 or self.autoscale is not None
 
     def digest(self) -> str:
         """Content address of this config (see :func:`~repro.analysis.cache.config_key`)."""
@@ -105,23 +148,6 @@ class ExperimentConfig:
     def with_replica(self, index: int) -> "ExperimentConfig":
         """Copy with a replica seed derived deterministically via ``repro._rng``."""
         return replace(self, seed=derive_seed(self.seed, "replica", index))
-
-
-def derive_seed(base_seed: int, *parts: object) -> int:
-    """Deterministic per-point seed from a base seed plus labels.
-
-    Uses the repository's splitmix64 mixing (:mod:`repro._rng`) so seed
-    derivation is stable across processes, platforms, and Python hash
-    randomization.  Returns a non-negative 63-bit integer.
-    """
-    h = hash_seed(int(base_seed) & MASK64)
-    for part in parts:
-        if isinstance(part, int):
-            h = mix(h, part & MASK64)
-        else:
-            for byte in str(part).encode("utf-8"):
-                h = mix(h, byte)
-    return h >> 1
 
 
 def build_workload(setup: Setup, config: ExperimentConfig) -> list[Request]:
@@ -134,6 +160,8 @@ def build_workload(setup: Setup, config: ExperimentConfig) -> list[Request]:
         return gen.bursty(config.duration_s, config.rps, mix=mix)
     if config.trace == "steady":
         return gen.steady(config.duration_s, config.rps, mix=mix)
+    if config.trace == "diurnal":
+        return gen.diurnal(config.duration_s, config.rps, mix=mix)
     if config.trace == "phased":
         return gen.phased(config.duration_s, peak_rps=config.rps)
     raise ValueError(f"unknown trace kind {config.trace!r}")
@@ -143,10 +171,24 @@ def execute_point(config: ExperimentConfig) -> dict:
     """Run one simulation point and return its serialized report.
 
     Top-level (picklable) so it can serve as the process-pool worker;
-    deterministic given ``config``.
+    deterministic given ``config``.  Cluster points (``replicas > 1`` or
+    autoscaling) run through :func:`~repro.analysis.harness.run_cluster`;
+    their record carries the fleet-level summary, so the cache and the
+    sweep machinery handle them exactly like solo points.
     """
     setup = build_setup(config.model, seed=config.seed)
     requests = build_workload(setup, config)
+    if config.is_cluster:
+        fleet = run_cluster(
+            setup,
+            config.system,
+            requests,
+            replicas=config.replicas,
+            router=config.router,
+            autoscale=dict(config.autoscale) if config.autoscale is not None else None,
+            max_sim_time_s=config.max_sim_time_s,
+        )
+        return report_to_dict(fleet.summary)
     report = run_once(
         setup, config.system, requests, max_sim_time_s=config.max_sim_time_s
     )

@@ -1,15 +1,21 @@
 """Command-line interface.
 
-Three subcommands mirror how the repository is used:
+The subcommands mirror how the repository is used:
 
 - ``run``: serve one workload with one system and print the metrics;
-- ``sweep``: the Figure 8/9 RPS sweep for a set of systems;
+- ``sweep``: the Figure 8/9 RPS sweep for a set of systems (optionally
+  at cluster scale via ``--replicas``/``--router``);
+- ``cluster``: serve one workload with a router-fronted replica fleet,
+  optionally autoscaled;
 - ``profile``: hardware profiling (Table 1 derived quantities).
 
-``run`` and ``sweep`` execute through the content-addressed result cache
-(:mod:`repro.analysis.cache`), so repeating an already-computed point or
-grid performs zero simulations; ``sweep --jobs N`` fans cache-missing
-points out over worker processes with results identical to ``--jobs 1``.
+``run``, ``sweep``, and ``cluster`` execute through the content-addressed
+result cache (:mod:`repro.analysis.cache`), so repeating an
+already-computed point or grid performs zero simulations; ``sweep
+--jobs N`` fans cache-missing points out over worker processes with
+results identical to ``--jobs 1``.  ``--out FILE`` writes the results as
+strict JSON (a report for ``run``/``cluster``, sweep points for
+``sweep``).
 
 Examples
 --------
@@ -17,6 +23,7 @@ Examples
 
     python -m repro run --system adaserve --model llama70b --rps 4.0
     python -m repro sweep --model qwen32b --systems adaserve vllm --rps 2.4 3.2 4.0 --jobs 4
+    python -m repro cluster --replicas 4 --router p2c --rps 12 --trace diurnal
     python -m repro profile --model llama70b
 """
 
@@ -24,11 +31,14 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.analysis.cache import ResultCache
+from repro.analysis.export import points_to_json, report_to_json
 from repro.analysis.harness import MODEL_SETUPS, SYSTEM_NAMES, build_setup
 from repro.analysis.report import format_table, point_from_metrics, series_table
-from repro.analysis.runner import ExperimentConfig, SweepRunner
+from repro.analysis.runner import TRACE_KINDS, ExperimentConfig, SweepRunner
+from repro.cluster.router import ROUTER_NAMES
 from repro.hardware.profiler import HardwareProfiler
 from repro.workloads.categories import urgent_mix
 
@@ -37,9 +47,7 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--model", choices=sorted(MODEL_SETUPS), default="llama70b")
     p.add_argument("--duration", type=float, default=45.0, help="trace length (s)")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument(
-        "--trace", choices=("bursty", "steady", "phased"), default="bursty"
-    )
+    p.add_argument("--trace", choices=TRACE_KINDS, default="bursty")
     p.add_argument(
         "--urgent-fraction",
         type=float,
@@ -79,7 +87,14 @@ def _make_cache(args) -> ResultCache | None:
     return _resolve_cache(args.cache_dir)
 
 
-def _config_for(args, system: str, rps: float) -> ExperimentConfig:
+def _config_for(
+    args,
+    system: str,
+    rps: float,
+    replicas: int = 1,
+    router: str = "round-robin",
+    autoscale: dict | None = None,
+) -> ExperimentConfig:
     mix = urgent_mix(args.urgent_fraction) if args.urgent_fraction is not None else None
     return ExperimentConfig.create(
         model=args.model,
@@ -91,34 +106,124 @@ def _config_for(args, system: str, rps: float) -> ExperimentConfig:
         slo_scale=args.slo_scale,
         mix=mix,
         max_sim_time_s=args.max_sim_time,
+        replicas=replicas,
+        router=router,
+        autoscale=autoscale,
+    )
+
+
+def _write_out(path: str | None, text: str) -> None:
+    """Persist strict-JSON results when ``--out`` was given."""
+    if path is None:
+        return
+    Path(path).write_text(text + "\n", encoding="utf-8")
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def _print_report(report, model: str) -> None:
+    m = report.metrics
+    print(f"system: {report.scheduler_name}   model: {model}   requests: {m.num_requests}")
+    print(
+        f"attainment {m.attainment * 100:.1f}%   goodput {m.goodput:.0f} tok/s   "
+        f"throughput {m.throughput:.0f} tok/s   mean accepted/verify {m.mean_accepted_per_verify:.2f}"
+    )
+    rows = [
+        [
+            cat,
+            f"{cm.attainment * 100:.1f}%",
+            f"{cm.mean_tpot_s * 1e3:.1f}",
+            f"{cm.p50_tpot_s * 1e3:.1f}",
+            f"{cm.p99_tpot_s * 1e3:.1f}",
+            str(cm.num_requests),
+        ]
+        for cat, cm in m.per_category.items()
+    ]
+    print(
+        format_table(
+            ["category", "attainment", "mean TPOT ms", "p50 TPOT ms", "p99 TPOT ms", "n"],
+            rows,
+        )
     )
 
 
 def _cmd_run(args) -> int:
     runner = SweepRunner(cache=_make_cache(args), jobs=1)
     result = runner.run([_config_for(args, args.system, args.rps)])[0]
-    report = result.report
-    m = report.metrics
-    print(f"system: {report.scheduler_name}   model: {args.model}   requests: {m.num_requests}")
-    print(
-        f"attainment {m.attainment * 100:.1f}%   goodput {m.goodput:.0f} tok/s   "
-        f"throughput {m.throughput:.0f} tok/s   mean accepted/verify {m.mean_accepted_per_verify:.2f}"
-    )
-    rows = [
-        [cat, f"{cm.attainment * 100:.1f}%", f"{cm.mean_tpot_s * 1e3:.1f}", f"{cm.p99_tpot_s * 1e3:.1f}", str(cm.num_requests)]
-        for cat, cm in m.per_category.items()
-    ]
-    print(format_table(["category", "attainment", "mean TPOT ms", "p99 TPOT ms", "n"], rows))
+    _print_report(result.report, args.model)
     print(runner.stats_line())
+    _write_out(args.out, report_to_json(result.report))
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    if not args.autoscale and (args.max_replicas is not None or args.warmup is not None):
+        print(
+            "error: --max-replicas/--warmup only apply with --autoscale",
+            file=sys.stderr,
+        )
+        return 2
+    if args.autoscale and args.max_replicas is not None and args.max_replicas < args.replicas:
+        print(
+            f"error: --max-replicas ({args.max_replicas}) must be >= --replicas ({args.replicas})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.replicas == 1 and not args.autoscale and args.router != "round-robin":
+        print(
+            "error: --router has no effect with --replicas 1 unless --autoscale is set",
+            file=sys.stderr,
+        )
+        return 2
+    if args.warmup is not None and args.warmup < 0:
+        print(f"error: --warmup must be >= 0, got {args.warmup:g}", file=sys.stderr)
+        return 2
+    # Pass only user-provided knobs; AutoscalerConfig and run_cluster own
+    # the defaults (warm-up length, 2x-initial-fleet ceiling).
+    autoscale = None
+    if args.autoscale:
+        autoscale = {}
+        if args.max_replicas is not None:
+            autoscale["max_replicas"] = args.max_replicas
+        if args.warmup is not None:
+            autoscale["warmup_s"] = args.warmup
+    config = _config_for(
+        args, args.system, args.rps,
+        replicas=args.replicas, router=args.router, autoscale=autoscale,
+    )
+    runner = SweepRunner(cache=_make_cache(args), jobs=1)
+    result = runner.run([config])[0]
+    _print_report(result.report, args.model)
+    print(
+        f"replicas: {args.replicas}   router: {args.router}   "
+        f"autoscale: {'on' if autoscale is not None else 'off'}"
+    )
+    print(runner.stats_line())
+    _write_out(args.out, report_to_json(result.report))
+    return 0
+
+
+def _dedupe(configs: list[ExperimentConfig]) -> list[ExperimentConfig]:
+    """Drop repeated points (e.g. duplicate ``--rps`` values), keeping order."""
+    return list(dict.fromkeys(configs))
+
+
 def _cmd_sweep(args) -> int:
+    if args.router is not None and args.replicas == 1:
+        print("error: --router requires --replicas > 1", file=sys.stderr)
+        return 2
     cache = _make_cache(args)
     runner = SweepRunner(cache=cache, jobs=args.jobs)
-    configs = [
-        _config_for(args, system, rps) for rps in args.rps for system in args.systems
-    ]
+    configs = _dedupe(
+        [
+            _config_for(
+                args, system, rps,
+                replicas=args.replicas,
+                router=args.router or "round-robin",
+            )
+            for rps in args.rps
+            for system in args.systems
+        ]
+    )
 
     def progress(result) -> None:
         source = "cached" if result.from_cache else "simulated"
@@ -141,6 +246,7 @@ def _cmd_sweep(args) -> int:
     print(series_table(points, value="goodput", x_label="RPS"))
     print()
     print(stats_line)
+    _write_out(args.out, points_to_json(points))
     return 0
 
 
@@ -178,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--system", choices=SYSTEM_NAMES, default="adaserve")
     p_run.add_argument("--rps", type=float, default=4.0)
     p_run.add_argument("--max-sim-time", type=float, default=1800.0)
+    p_run.add_argument("--out", default=None, help="write the report as strict JSON")
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="RPS sweep over systems")
@@ -192,7 +299,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--systems", nargs="+", choices=SYSTEM_NAMES, default=["adaserve", "vllm"])
     p_sweep.add_argument("--rps", nargs="+", type=float, default=[2.6, 3.4, 4.2])
     p_sweep.add_argument("--max-sim-time", type=float, default=1800.0)
+    p_sweep.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=1,
+        help="replicas per point (> 1 sweeps at cluster scale)",
+    )
+    p_sweep.add_argument(
+        "--router",
+        choices=ROUTER_NAMES,
+        default=None,
+        help="routing policy (requires --replicas > 1; default: round-robin)",
+    )
+    p_sweep.add_argument("--out", default=None, help="write sweep points as strict JSON")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="serve one workload with a router-fronted replica fleet"
+    )
+    _add_workload_args(p_cluster)
+    _add_cache_args(p_cluster)
+    p_cluster.add_argument("--system", choices=SYSTEM_NAMES, default="adaserve")
+    p_cluster.add_argument("--rps", type=float, default=12.0)
+    p_cluster.add_argument("--replicas", type=_positive_int, default=4)
+    p_cluster.add_argument("--router", choices=ROUTER_NAMES, default="round-robin")
+    p_cluster.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="grow/shrink the fleet on queue depth (warm-up delayed)",
+    )
+    p_cluster.add_argument(
+        "--max-replicas",
+        type=_positive_int,
+        default=None,
+        help="autoscaler ceiling (default: 2x --replicas)",
+    )
+    p_cluster.add_argument(
+        "--warmup",
+        type=float,
+        default=None,
+        help="seconds before an autoscaled replica becomes routable",
+    )
+    p_cluster.add_argument("--max-sim-time", type=float, default=1800.0)
+    p_cluster.add_argument("--out", default=None, help="write the report as strict JSON")
+    p_cluster.set_defaults(func=_cmd_cluster)
 
     p_prune = sub.add_parser(
         "cache-prune",

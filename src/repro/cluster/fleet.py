@@ -1,0 +1,258 @@
+"""Fleet-level event loop: many replicas, one clock, one router.
+
+:class:`FleetSimulator` is the multi-replica generalization of
+:class:`~repro.serving.server.ServingSimulator.run`.  Each replica keeps
+its own iteration timeline (``local_now``); the fleet processes events in
+global time order over a shared :class:`~repro.serving.clock.SimClock`:
+
+- the next event is either the earliest arrival or the earliest iteration
+  boundary among replicas that have work;
+- arrivals are admitted through the router at their arrival instant —
+  a busy target queues them for its next boundary (exactly the
+  single-engine between-iteration admission semantics), an idle target's
+  timeline is pulled forward and it steps immediately;
+- at each event the autoscaler (if configured) may add a warming replica
+  or start draining one.
+
+Because ties are broken by replica index and every random draw is seeded,
+a fleet run is a pure function of (replica factory, workload, router,
+autoscaler config) — two runs with the same inputs are byte-identical.
+
+Fleet-level metrics are the existing single-engine aggregation applied to
+the union of all per-replica requests, so cluster numbers and solo
+numbers are directly comparable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig, ScaleEvent
+from repro.cluster.replica import Replica
+from repro.cluster.router import Router
+from repro.serving.clock import ArrivalStream, SimClock
+from repro.serving.engine import PhaseTimes, SimulatedEngine
+from repro.serving.metrics import compute_metrics
+from repro.serving.request import Request
+from repro.serving.scheduler_base import Scheduler
+from repro.serving.server import SimulationReport
+
+#: Builds a fresh engine + scheduler pair for replica ``index``.
+ReplicaFactory = Callable[[int], tuple[SimulatedEngine, Scheduler]]
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Outcome of one fleet run."""
+
+    #: Fleet-level report: merged metrics over every replica's requests.
+    summary: SimulationReport
+    #: Per-replica reports, in replica-index order (includes retired).
+    replica_reports: list[SimulationReport]
+    router_name: str
+    #: Peak concurrently live (non-retired) replicas; never exceeds the
+    #: autoscaler's ``max_replicas``.
+    num_replicas_peak: int
+    scale_events: list[ScaleEvent]
+
+    @property
+    def attainment(self) -> float:
+        """Fleet SLO attainment (convenience passthrough)."""
+        return self.summary.metrics.attainment
+
+    @property
+    def goodput(self) -> float:
+        """Fleet goodput in tokens/s (convenience passthrough)."""
+        return self.summary.metrics.goodput
+
+
+class FleetSimulator:
+    """Simulate a router-fronted fleet of replicas over one trace.
+
+    Parameters
+    ----------
+    replica_factory:
+        Called with a replica index to build a fresh engine + scheduler
+        pair (initial fleet and autoscaled additions alike).
+    requests:
+        The cluster-level workload; arrival times are absolute seconds.
+    router:
+        Routing policy consulted once per arrival.
+    num_replicas:
+        Initial fleet size.
+    autoscaler_config:
+        Enables autoscaling when given (see :mod:`repro.cluster.autoscaler`).
+    max_sim_time_s / max_iterations:
+        Safety cutoffs, as in the single-engine simulator; iterations are
+        counted fleet-wide.
+    """
+
+    def __init__(
+        self,
+        replica_factory: ReplicaFactory,
+        requests: list[Request],
+        router: Router,
+        num_replicas: int,
+        autoscaler_config: AutoscalerConfig | None = None,
+        max_sim_time_s: float = 7200.0,
+        max_iterations: int = 2_000_000,
+    ) -> None:
+        if num_replicas < 1:
+            raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+        self.replica_factory = replica_factory
+        self.requests = list(requests)
+        self.router = router
+        self.autoscaler = (
+            Autoscaler(autoscaler_config) if autoscaler_config is not None else None
+        )
+        self.max_sim_time_s = max_sim_time_s
+        self.max_iterations = max_iterations
+        self.replicas: list[Replica] = [
+            self._spawn(i, available_at=0.0) for i in range(num_replicas)
+        ]
+        self.scale_events: list[ScaleEvent] = []
+        self._peak_live = num_replicas
+
+    # ------------------------------------------------------------------
+    def _spawn(self, index: int, available_at: float) -> Replica:
+        engine, scheduler = self.replica_factory(index)
+        return Replica(index, engine, scheduler, available_at=available_at)
+
+    def _routable(self, now: float) -> list[Replica]:
+        pool = [r for r in self.replicas if r.routable(now)]
+        if pool:
+            return pool
+        # Degenerate fallbacks (no warm, non-draining replica): prefer
+        # replicas still warming up — they will serve the queue once
+        # available — so a drain decision is not fed new work; only a
+        # fleet of nothing but drainers routes to them (never drop a
+        # request).
+        warming = [r for r in self.replicas if not r.retired and not r.draining]
+        if warming:
+            return warming
+        return [r for r in self.replicas if not r.retired]
+
+    def _autoscale(self, now: float) -> None:
+        if self.autoscaler is None:
+            return
+        decision = self.autoscaler.decide(now, self.replicas)
+        if decision > 0:
+            index = len(self.replicas)
+            warmup = self.autoscaler.config.warmup_s
+            self.replicas.append(self._spawn(index, available_at=now + warmup))
+            self.scale_events.append(ScaleEvent(now, "up", index))
+            live = sum(1 for r in self.replicas if not r.retired)
+            self._peak_live = max(self._peak_live, live)
+        elif decision < 0:
+            victim = self.autoscaler.pick_drain_victim(self.replicas)
+            if victim is not None:
+                victim.draining = True
+                self.scale_events.append(ScaleEvent(now, "down", victim.index))
+
+    def _retire_drained(self) -> None:
+        for replica in self.replicas:
+            if replica.draining and not replica.retired and not replica.has_work():
+                replica.finalize()
+                replica.retired = True
+
+    # ------------------------------------------------------------------
+    def run(self) -> FleetReport:
+        """Execute the fleet simulation to completion (or safety cutoff)."""
+        clock = SimClock()
+        arrivals = ArrivalStream(self.requests)
+        iterations = 0
+
+        while True:
+            busy = [
+                r for r in self.replicas if not r.retired and r.has_work()
+            ]
+            next_arrival = arrivals.next_arrival
+            if not busy and next_arrival is None:
+                break  # drained
+            # Safety horizon, per replica as in the single-engine loop: a
+            # replica stops stepping once an iteration finishes beyond
+            # the horizon (its leftover requests count as violations).
+            # The run continues while any working replica is below the
+            # horizon, or an idle sub-horizon replica could still serve a
+            # pending sub-horizon arrival — only then is nothing left.
+            runnable = [r for r in busy if r.local_now <= self.max_sim_time_s]
+            if busy and not runnable:
+                idle_capacity = any(
+                    not r.retired
+                    and not r.has_work()
+                    and r.local_now <= self.max_sim_time_s
+                    for r in self.replicas
+                )
+                if (
+                    next_arrival is None
+                    or next_arrival > self.max_sim_time_s
+                    or not idle_capacity
+                ):
+                    break
+
+            step_candidate = (
+                min(runnable, key=lambda r: (r.local_now, r.index))
+                if runnable
+                else None
+            )
+            if step_candidate is not None and (
+                next_arrival is None or step_candidate.local_now < next_arrival
+            ):
+                clock.advance_to(step_candidate.local_now)
+                step_candidate.step()
+                iterations += 1
+                if iterations > self.max_iterations:
+                    raise RuntimeError(
+                        f"fleet exceeded {self.max_iterations} iterations"
+                    )
+            else:
+                clock.advance_to(next_arrival)
+                for req in arrivals.release_until(clock.now):
+                    target = self.router.route(req, self._routable(clock.now))
+                    target.admit(req, clock.now)
+
+            self._autoscale(clock.now)
+            self._retire_drained()
+
+        for replica in self.replicas:
+            replica.finalize()
+
+        # The loop advances the shared clock to each iteration's *start*
+        # boundary; the run actually ends when the last-stepped replica's
+        # final iteration completes.
+        end_time = max(
+            (r.local_now for r in self.replicas if r.iterations > 0),
+            default=clock.now,
+        )
+        sim_time_s = max(clock.now, end_time)
+
+        replica_reports = [r.report() for r in self.replicas]
+        all_requests = sorted(
+            (req for rep in replica_reports for req in rep.requests),
+            key=lambda r: r.rid,
+        )
+        base_name = self.replicas[0].scheduler.name
+        summary = SimulationReport(
+            scheduler_name=f"{base_name} x{self._peak_live} [{self.router.name}]",
+            metrics=compute_metrics(all_requests),
+            sim_time_s=sim_time_s,
+            iterations=iterations,
+            phase_breakdown=self._merged_phase_breakdown(),
+            requests=all_requests,
+        )
+        return FleetReport(
+            summary=summary,
+            replica_reports=replica_reports,
+            router_name=self.router.name,
+            num_replicas_peak=self._peak_live,
+            scale_events=list(self.scale_events),
+        )
+
+    # ------------------------------------------------------------------
+    def _merged_phase_breakdown(self) -> dict[str, float]:
+        """Fleet-wide phase fractions: per-phase busy time summed first."""
+        merged = PhaseTimes()
+        for replica in self.replicas:
+            merged.add(replica.engine.phase_times)
+        return merged.breakdown()

@@ -20,7 +20,7 @@ accumulates per-phase busy time for the Figure 15 breakdown.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro._rng import hash_seed
 from repro.hardware.cuda_graph import CudaGraphModel
@@ -54,6 +54,19 @@ class PhaseTimes:
             + self.verification_s
             + self.scheduling_s
         )
+
+    def add(self, other: "PhaseTimes") -> None:
+        """Accumulate another instance's busy time (fleet aggregation).
+
+        Iterates the dataclass fields so a future phase cannot be
+        silently dropped from merged breakdowns.
+        """
+        for phase_field in fields(self):
+            setattr(
+                self,
+                phase_field.name,
+                getattr(self, phase_field.name) + getattr(other, phase_field.name),
+            )
 
     def breakdown(self) -> dict[str, float]:
         """Fractions per phase (empty if nothing ran)."""

@@ -14,6 +14,7 @@ from repro.workloads.datasets import DATASETS, LengthDistribution, SyntheticData
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.trace import (
     bursty_trace,
+    diurnal_trace,
     phased_trace,
     trace_frequency,
     uniform_trace,
@@ -31,6 +32,7 @@ __all__ = [
     "SyntheticDataset",
     "WorkloadGenerator",
     "bursty_trace",
+    "diurnal_trace",
     "phased_trace",
     "resolve_slos",
     "trace_frequency",

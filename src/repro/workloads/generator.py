@@ -16,7 +16,12 @@ from repro.hardware.roofline import RooflineModel
 from repro.serving.request import Request
 from repro.workloads.categories import CATEGORIES, DEFAULT_MIX, Category
 from repro.workloads.datasets import DATASETS, SyntheticDataset
-from repro.workloads.trace import bursty_trace, phased_trace, uniform_trace
+from repro.workloads.trace import (
+    bursty_trace,
+    diurnal_trace,
+    phased_trace,
+    uniform_trace,
+)
 
 
 @dataclass
@@ -103,6 +108,21 @@ class WorkloadGenerator:
     ) -> list[Request]:
         """Homogeneous-Poisson workload."""
         return self.from_arrivals(uniform_trace(duration_s, rps, seed=self.seed), mix)
+
+    def diurnal(
+        self,
+        duration_s: float,
+        rps: float,
+        mix: dict[str, float] | None = None,
+        peak_to_trough: float = 4.0,
+    ) -> list[Request]:
+        """Day/night-cycle workload at a target average RPS."""
+        return self.from_arrivals(
+            diurnal_trace(
+                duration_s, rps, seed=self.seed, peak_to_trough=peak_to_trough
+            ),
+            mix,
+        )
 
     def phased(
         self,

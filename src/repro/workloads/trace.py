@@ -12,6 +12,11 @@ Two trace shapes from the paper:
   category peaks at a different time (staggered Gaussian bumps), used for
   the workload-fluctuation sensitivity study (Figure 14).
 
+Plus one cluster-scenario extension beyond the paper:
+
+- :func:`diurnal_trace` — a day/night sinusoidal cycle (the scenario
+  where fleet autoscaling matters; see :mod:`repro.cluster`).
+
 Both return arrival timestamps (and per-arrival categories for the phased
 trace); :mod:`repro.workloads.generator` turns them into requests.
 """
@@ -89,6 +94,40 @@ def uniform_trace(duration_s: float, rps: float, seed: int = 0) -> list[float]:
     if duration_s <= 0 or rps <= 0:
         raise ValueError("duration and rps must be positive")
     return _thin_poisson(lambda t: rps, duration_s, rps, seed)
+
+
+def diurnal_trace(
+    duration_s: float,
+    target_rps: float,
+    seed: int = 0,
+    peak_to_trough: float = 4.0,
+    cycles: float = 1.0,
+) -> list[float]:
+    """Day/night arrival cycle rescaled to ``target_rps`` on average.
+
+    The rate follows ``cycles`` full sinusoidal periods over the window,
+    starting at the trough (night) and peaking mid-cycle, with
+    ``peak_to_trough`` setting the peak:trough rate ratio.  This is the
+    scenario where autoscaling matters: a fleet sized for the peak idles
+    at night, one sized for the mean queues at noon.
+    """
+    if duration_s <= 0 or target_rps <= 0:
+        raise ValueError("duration and target_rps must be positive")
+    if peak_to_trough < 1.0:
+        raise ValueError("peak_to_trough must be >= 1")
+    if cycles <= 0:
+        raise ValueError("cycles must be positive")
+
+    # Amplitude that yields the requested peak:trough ratio around a
+    # unit mean: (1 + a) / (1 - a) = ratio.
+    amplitude = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
+
+    def rate(t: float) -> float:
+        phase = 2 * math.pi * cycles * t / duration_s
+        return target_rps * (1.0 + amplitude * math.sin(phase - math.pi / 2))
+
+    rate_max = target_rps * (1.0 + amplitude)
+    return _thin_poisson(rate, duration_s, rate_max, seed)
 
 
 def phased_trace(

@@ -143,6 +143,104 @@ class TestCLI:
         assert "cache: disabled" in out
 
 
+class TestCLICluster:
+    _CLUSTER = ["cluster", "--system", "vllm", "--replicas", "2", "--router", "p2c",
+                "--rps", "3.0", "--duration", "4", "--trace", "steady", "--no-cache"]
+
+    def test_cluster_command_runs(self, capsys):
+        assert main(self._CLUSTER) == 0
+        out = capsys.readouterr().out
+        assert "vLLM x2 [p2c]" in out
+        assert "router: p2c" in out
+
+    def test_cluster_autoscale_flag(self, capsys):
+        argv = self._CLUSTER + ["--autoscale", "--max-replicas", "3", "--warmup", "1.0"]
+        assert main(argv) == 0
+        assert "autoscale: on" in capsys.readouterr().out
+
+    def test_autoscale_knobs_require_autoscale_flag(self, capsys):
+        assert main(self._CLUSTER + ["--max-replicas", "4"]) == 2
+        assert "--autoscale" in capsys.readouterr().err
+        assert main(self._CLUSTER + ["--warmup", "1.0"]) == 2
+
+    def test_max_replicas_must_cover_initial_fleet(self, capsys):
+        argv = self._CLUSTER + ["--autoscale", "--max-replicas", "1"]
+        assert main(argv) == 2
+        assert "must be >=" in capsys.readouterr().err
+
+    def test_negative_warmup_rejected(self, capsys):
+        argv = self._CLUSTER + ["--autoscale", "--warmup", "-1"]
+        assert main(argv) == 2
+        assert "--warmup" in capsys.readouterr().err
+
+    def test_cluster_router_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--router", "dns"])
+
+    def test_sweep_accepts_cluster_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--replicas", "2", "--router", "least-loaded"]
+        )
+        assert args.replicas == 2
+        assert args.router == "least-loaded"
+
+    def test_sweep_router_requires_replicas(self, capsys):
+        argv = ["sweep", "--systems", "vllm", "--rps", "1.0", "--duration", "4",
+                "--trace", "steady", "--no-cache", "--router", "p2c"]
+        assert main(argv) == 2
+        assert "--replicas" in capsys.readouterr().err
+
+    def test_cluster_router_inert_without_fleet(self, capsys):
+        argv = ["cluster", "--system", "vllm", "--replicas", "1", "--router", "p2c",
+                "--rps", "3.0", "--duration", "4", "--trace", "steady", "--no-cache"]
+        assert main(argv) == 2
+        assert "no effect" in capsys.readouterr().err
+
+
+class TestCLIOut:
+    def test_run_out_writes_strict_report_json(self, capsys, tmp_path):
+        out_file = tmp_path / "report.json"
+        argv = ["run", "--system", "vllm", "--rps", "1.0", "--duration", "4",
+                "--trace", "steady", "--no-cache", "--out", str(out_file)]
+        assert main(argv) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["scheduler"] == "vLLM"
+        assert payload["metrics"]["num_requests"] > 0
+        assert "NaN" not in out_file.read_text()
+
+    def test_sweep_out_writes_points_json(self, capsys, tmp_path):
+        out_file = tmp_path / "points.json"
+        argv = ["sweep", "--systems", "vllm", "--rps", "1.0", "2.0", "--duration", "4",
+                "--trace", "steady", "--no-cache", "--out", str(out_file)]
+        assert main(argv) == 0
+        points = json.loads(out_file.read_text())
+        assert sorted(p["x"] for p in points) == [1.0, 2.0]
+        assert all(p["system"] == "vLLM" for p in points)
+
+    def test_cluster_out_writes_report_json(self, capsys, tmp_path):
+        out_file = tmp_path / "cluster.json"
+        argv = ["cluster", "--system", "vllm", "--replicas", "2", "--rps", "3.0",
+                "--duration", "4", "--trace", "steady", "--no-cache",
+                "--out", str(out_file)]
+        assert main(argv) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["scheduler"].startswith("vLLM x2")
+
+
+class TestCLISweepDedupe:
+    def test_duplicate_rps_simulated_and_reported_once(self, capsys):
+        argv = ["sweep", "--systems", "vllm", "--rps", "1.0", "1.0", "2.0",
+                "--duration", "4", "--trace", "steady", "--no-cache"]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "simulations executed: 2" in captured.out
+        # One progress line and one table row per unique point.
+        assert captured.err.count("done:") == 2
+        attainment_table = captured.out.split("SLO attainment:")[1].split("Goodput")[0]
+        rows = [ln for ln in attainment_table.strip().splitlines()[2:] if ln.strip()]
+        assert len(rows) == 2
+
+
 class TestCLICache:
     _RUN = ["run", "--system", "vllm", "--rps", "1.0", "--duration", "4",
             "--trace", "steady"]

@@ -1,0 +1,461 @@
+"""Tests for the cluster layer: replicas, routers, autoscaler, fleet."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.export import report_to_dict
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
+from repro.cluster.fleet import FleetSimulator
+from repro.cluster.replica import Replica
+from repro.cluster.router import (
+    ROUTER_NAMES,
+    AffinityRouter,
+    LeastLoadedRouter,
+    PowerOfTwoRouter,
+    RoundRobinRouter,
+    make_router,
+)
+from repro.hardware.roofline import RooflineModel
+from repro.hardware.spec import DEPLOYMENT_PRESETS
+from repro.model.pair import ModelPair
+from repro.serving.engine import SimulatedEngine
+from repro.serving.kv_cache import KVCacheManager
+from repro.serving.metrics import compute_metrics
+from tests.conftest import make_request, tiny_generator
+
+
+def small_engine(seed: int = 42) -> SimulatedEngine:
+    """A fresh small engine (the conftest ``engine`` fixture, per call)."""
+    pair = ModelPair.build(vocab_size=1000, seed=seed, alignment=0.85, predictability=0.7)
+    target = RooflineModel(DEPLOYMENT_PRESETS["llama70b-4xa100"])
+    draft = RooflineModel(DEPLOYMENT_PRESETS["llama1b-1xa100"])
+    return SimulatedEngine(pair, target, draft, KVCacheManager(200_000), seed=seed)
+
+
+def vllm_factory(index: int):
+    from repro.baselines.vllm import VLLMScheduler
+
+    engine = small_engine(seed=100 + index)
+    return engine, VLLMScheduler(engine)
+
+
+def fleet_workload(n: int = 40, duration_s: float = 10.0, rps: float = 6.0):
+    roofline = RooflineModel(DEPLOYMENT_PRESETS["llama70b-4xa100"])
+    return tiny_generator(roofline).steady(duration_s=duration_s, rps=rps)[:n]
+
+
+def make_fleet(requests, router, replicas=3, **kwargs) -> FleetSimulator:
+    return FleetSimulator(vllm_factory, requests, router, replicas, **kwargs)
+
+
+class FakeReplica:
+    """Stand-in with fixed load for router unit tests."""
+
+    def __init__(self, index: int, queued_tokens: int = 0):
+        self.index = index
+        self.queued_tokens = queued_tokens
+
+
+class TestRouters:
+    def test_registry(self):
+        for name in ROUTER_NAMES:
+            assert make_router(name, seed=1).name == name
+        with pytest.raises(KeyError):
+            make_router("random")
+
+    def test_round_robin_cycles(self):
+        router = RoundRobinRouter()
+        replicas = [FakeReplica(i) for i in range(3)]
+        picks = [router.route(make_request(rid=i), replicas).index for i in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_least_loaded_picks_min_tokens(self):
+        router = LeastLoadedRouter()
+        replicas = [FakeReplica(0, 50), FakeReplica(1, 10), FakeReplica(2, 30)]
+        assert router.route(make_request(), replicas).index == 1
+
+    def test_least_loaded_tie_breaks_by_index(self):
+        replicas = [FakeReplica(0, 10), FakeReplica(1, 10)]
+        assert LeastLoadedRouter().route(make_request(), replicas).index == 0
+
+    def test_p2c_considers_two_distinct(self):
+        router = PowerOfTwoRouter(seed=7)
+        replicas = [FakeReplica(i, queued_tokens=100 * i) for i in range(4)]
+        # Whatever the sampled pair, the pick can never be the single
+        # worst replica unless both samples landed on it — impossible
+        # since samples are distinct.
+        for rid in range(50):
+            pick = router.route(make_request(rid=rid), replicas)
+            assert pick.index != 3 or pick.queued_tokens < 300
+
+    def test_p2c_deterministic_per_rid(self):
+        replicas = [FakeReplica(i, queued_tokens=i) for i in range(5)]
+        a = [PowerOfTwoRouter(seed=3).route(make_request(rid=r), replicas).index for r in range(20)]
+        b = [PowerOfTwoRouter(seed=3).route(make_request(rid=r), replicas).index for r in range(20)]
+        assert a == b
+        c = [PowerOfTwoRouter(seed=4).route(make_request(rid=r), replicas).index for r in range(20)]
+        assert a != c  # different seed, different stream
+
+    def test_affinity_partitions_by_priority(self):
+        router = AffinityRouter(reserved_fraction=0.5)
+        replicas = [FakeReplica(i) for i in range(4)]
+        urgent = make_request(rid=0, priority=0)
+        relaxed = make_request(rid=1, priority=1)
+        assert router.route(urgent, replicas).index in (0, 1)
+        assert router.route(relaxed, replicas).index in (2, 3)
+
+    def test_affinity_single_replica_serves_all(self):
+        router = AffinityRouter()
+        only = [FakeReplica(0)]
+        assert router.route(make_request(priority=0), only).index == 0
+        assert router.route(make_request(priority=1), only).index == 0
+
+    def test_affinity_adaptive_reservation_tracks_urgent_share(self):
+        router = AffinityRouter()
+        # All-urgent traffic pushes the reservation to the ceiling (n-1).
+        replicas = [FakeReplica(i) for i in range(4)]
+        for rid in range(20):
+            router.route(make_request(rid=rid, priority=0), replicas)
+        assert router._num_reserved(4) == 3
+        # Mostly-relaxed traffic shrinks it back down.
+        for rid in range(200):
+            router.route(make_request(rid=100 + rid, priority=1), replicas)
+        assert router._num_reserved(4) == 1
+
+    def test_affinity_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            AffinityRouter(reserved_fraction=1.0)
+
+
+class TestAutoscaler:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_replicas=0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_replicas=4, max_replicas=2)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(scale_up_queue=1.0, scale_down_queue=2.0)
+
+    def test_from_mapping_rejects_unknown_and_coerces_counts(self):
+        config = AutoscalerConfig.from_mapping({"max_replicas": 6.0, "warmup_s": 1.5})
+        assert config.max_replicas == 6
+        assert config.warmup_s == 1.5
+        with pytest.raises(KeyError):
+            AutoscalerConfig.from_mapping({"bogus": 1})
+
+    def _replica(self, index, queued, available_at=0.0):
+        engine, scheduler = vllm_factory(index)
+        replica = Replica(index, engine, scheduler, available_at=available_at)
+        for rid in range(queued):
+            replica.admit(make_request(rid=index * 100 + rid), 0.0)
+        return replica
+
+    def test_scales_up_on_deep_queues(self):
+        scaler = Autoscaler(AutoscalerConfig(scale_up_queue=2.0, max_replicas=4))
+        replicas = [self._replica(0, queued=5)]
+        assert scaler.decide(0.0, replicas) == 1
+
+    def test_scales_down_when_idle(self):
+        scaler = Autoscaler(AutoscalerConfig(min_replicas=1, scale_down_queue=1.0))
+        replicas = [self._replica(0, queued=0), self._replica(1, queued=0)]
+        assert scaler.decide(0.0, replicas) == -1
+
+    def test_respects_min_replicas(self):
+        scaler = Autoscaler(AutoscalerConfig(min_replicas=1))
+        assert scaler.decide(0.0, [self._replica(0, queued=0)]) == 0
+
+    def test_throttled_by_check_interval(self):
+        scaler = Autoscaler(AutoscalerConfig(scale_up_queue=2.0, check_interval_s=10.0))
+        replicas = [self._replica(0, queued=5)]
+        assert scaler.decide(0.0, replicas) == 1
+        assert scaler.decide(5.0, replicas) == 0  # inside the interval
+        assert scaler.decide(10.0, replicas) == 1
+
+    def test_warming_replicas_dampen_scale_up(self):
+        config = AutoscalerConfig(scale_up_queue=3.0, max_replicas=4)
+        # Queue of 5 on one warm replica: mean depth 5 > 3 -> scale up.
+        replicas = [self._replica(0, queued=5)]
+        assert Autoscaler(config).decide(0.0, replicas) == 1
+        # Same queue with capacity already warming: mean 5/2 < 3 -> hold.
+        replicas.append(self._replica(1, 0, available_at=99.0))
+        assert Autoscaler(config).decide(0.0, replicas) == 0
+
+    def test_resolve_defaults_ceiling_and_validates(self):
+        config = AutoscalerConfig.resolve({}, initial_replicas=3)
+        assert config.max_replicas == 6
+        explicit = AutoscalerConfig.resolve({"max_replicas": 6}, initial_replicas=3)
+        assert explicit == config
+        with pytest.raises(ValueError, match="below"):
+            AutoscalerConfig.resolve({"max_replicas": 2}, initial_replicas=3)
+
+
+class TestFleetSimulator:
+    def test_metrics_merge_equals_union_of_replica_requests(self):
+        """Fleet RunMetrics == compute_metrics over the union (property)."""
+        report = make_fleet(fleet_workload(), RoundRobinRouter(), replicas=3).run()
+        union = [req for rep in report.replica_reports for req in rep.requests]
+        assert len(union) == report.summary.metrics.num_requests
+        assert compute_metrics(union) == report.summary.metrics
+        # Per-replica metrics are internally consistent with the merge.
+        assert sum(r.metrics.num_requests for r in report.replica_reports) == len(union)
+        assert sum(r.metrics.num_finished for r in report.replica_reports) == (
+            report.summary.metrics.num_finished
+        )
+
+    def test_summary_spans_the_last_iteration(self):
+        report = make_fleet(fleet_workload(), RoundRobinRouter(), replicas=2).run()
+        finishes = [
+            req.finish_time
+            for rep in report.replica_reports
+            for req in rep.requests
+            if req.finish_time is not None
+        ]
+        assert report.summary.sim_time_s >= max(finishes)
+
+    def test_every_request_routed_exactly_once(self):
+        requests = fleet_workload()
+        report = make_fleet(requests, LeastLoadedRouter(), replicas=3).run()
+        routed = sorted(
+            req.rid for rep in report.replica_reports for req in rep.requests
+        )
+        assert routed == sorted(r.rid for r in requests)
+
+    @pytest.mark.parametrize("router_name", ROUTER_NAMES)
+    def test_fixed_seed_runs_are_byte_identical(self, router_name):
+        def run_once():
+            report = make_fleet(
+                fleet_workload(), make_router(router_name, seed=11), replicas=3
+            ).run()
+            return json.dumps(report_to_dict(report.summary), sort_keys=True)
+
+        assert run_once() == run_once()
+
+    def test_single_replica_fleet_matches_serving_simulator(self):
+        """A 1-replica fleet is exactly the single-engine simulation."""
+        from repro.baselines.vllm import VLLMScheduler
+        from repro.serving.server import ServingSimulator
+
+        requests = fleet_workload()
+        fleet_report = make_fleet(requests, RoundRobinRouter(), replicas=1).run()
+
+        engine = small_engine(seed=100)  # vllm_factory's replica-0 seed
+        solo = ServingSimulator(
+            engine, VLLMScheduler(engine), fleet_workload()
+        ).run()
+        assert fleet_report.summary.metrics == solo.metrics
+        assert fleet_report.summary.iterations == solo.iterations
+        assert fleet_report.summary.sim_time_s == pytest.approx(solo.sim_time_s)
+        assert fleet_report.summary.phase_breakdown == solo.phase_breakdown
+
+    def test_horizon_cutoff_matches_serving_simulator(self):
+        """A capped 1-replica fleet stops exactly where the solo loop does."""
+        from repro.baselines.vllm import VLLMScheduler
+        from repro.serving.server import ServingSimulator
+
+        horizon = 6.0
+        fleet_report = make_fleet(
+            fleet_workload(n=60, rps=12.0),
+            RoundRobinRouter(),
+            replicas=1,
+            max_sim_time_s=horizon,
+        ).run()
+        engine = small_engine(seed=100)  # vllm_factory's replica-0 seed
+        solo = ServingSimulator(
+            engine,
+            VLLMScheduler(engine),
+            fleet_workload(n=60, rps=12.0),
+            max_sim_time_s=horizon,
+        ).run()
+        assert solo.metrics.num_finished < 60  # the cap actually bites
+        assert fleet_report.summary.iterations == solo.iterations
+        assert fleet_report.summary.metrics == solo.metrics
+
+    def test_pending_arrivals_reach_idle_replicas_at_horizon(self):
+        """A capped replica must not end the run while an idle one can serve.
+
+        R0's single giant prefill iteration crosses the horizon; the
+        relaxed request arriving before the horizon must still be routed
+        to idle R1 and counted (not silently dropped from metrics).
+        """
+        urgent = make_request(
+            rid=0, priority=0, arrival=0.0,
+            prompt_len=20000, max_new_tokens=100, tpot_slo=0.02,
+        )
+        relaxed = make_request(
+            rid=1, priority=1, arrival=0.4,
+            prompt_len=32, max_new_tokens=4, tpot_slo=1.0,
+        )
+        report = FleetSimulator(
+            vllm_factory,
+            [urgent, relaxed],
+            AffinityRouter(reserved_fraction=0.5),
+            2,
+            max_sim_time_s=0.5,
+        ).run()
+        m = report.summary.metrics
+        assert m.num_requests == 2
+        assert m.num_finished == 1  # relaxed served by R1; urgent capped
+
+    def test_more_replicas_do_not_hurt_attainment(self):
+        requests = fleet_workload(n=60, rps=12.0)
+        one = make_fleet(fleet_workload(n=60, rps=12.0), RoundRobinRouter(), replicas=1).run()
+        four = make_fleet(requests, RoundRobinRouter(), replicas=4).run()
+        assert four.attainment >= one.attainment
+
+    def test_routable_fallback_prefers_warming_over_draining(self):
+        fleet = make_fleet(fleet_workload(n=5), RoundRobinRouter(), replicas=2)
+        draining, warming = fleet.replicas
+        draining.draining = True
+        warming.available_at = warming.local_now = 50.0
+        assert fleet._routable(10.0) == [warming]
+        # Only drainers left: still never drop a request.
+        warming.draining = True
+        assert fleet._routable(10.0) == [draining, warming]
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            make_fleet([], RoundRobinRouter(), replicas=0)
+
+    def test_autoscaler_adds_warm_up_delayed_replicas(self):
+        config = AutoscalerConfig(
+            min_replicas=1,
+            max_replicas=3,
+            check_interval_s=0.5,
+            scale_up_queue=1.5,
+            warmup_s=2.0,
+        )
+        report = make_fleet(
+            fleet_workload(n=60, rps=20.0),
+            LeastLoadedRouter(),
+            replicas=1,
+            autoscaler_config=config,
+        ).run()
+        ups = [e for e in report.scale_events if e.action == "up"]
+        assert ups, "deep queues at rps=20 on one replica must trigger scale-up"
+        assert report.num_replicas_peak > 1
+        # Peak counts concurrently live replicas and respects the ceiling
+        # even if scale-down/scale-up cycles created more over the run.
+        assert report.num_replicas_peak <= 3
+        assert f"x{report.num_replicas_peak} " in report.summary.scheduler_name
+        # Scaled-up replicas only start serving after their warm-up.
+        for event, rep in zip(ups, report.replica_reports[1:]):
+            finished = [r for r in rep.requests if r.first_token_time is not None]
+            for req in finished:
+                assert req.first_token_time >= event.time_s + config.warmup_s
+
+    def test_cluster_config_fields_change_the_cache_key(self):
+        from repro.analysis.runner import ExperimentConfig
+
+        base = ExperimentConfig.create(
+            model="llama70b", system="vllm", rps=2.0, duration_s=4.0, seed=0
+        )
+        cluster = ExperimentConfig.create(
+            model="llama70b", system="vllm", rps=2.0, duration_s=4.0, seed=0,
+            replicas=2, router="p2c",
+        )
+        autoscaled = ExperimentConfig.create(
+            model="llama70b", system="vllm", rps=2.0, duration_s=4.0, seed=0,
+            replicas=2, router="p2c", autoscale={"max_replicas": 4},
+        )
+        digests = {base.digest(), cluster.digest(), autoscaled.digest()}
+        assert len(digests) == 3
+        assert not base.is_cluster
+        assert cluster.is_cluster and autoscaled.is_cluster
+
+    def test_solo_config_canonicalizes_inert_router(self):
+        from repro.analysis.runner import ExperimentConfig
+
+        solo = ExperimentConfig.create(
+            model="llama70b", system="vllm", rps=2.0, duration_s=4.0, seed=0,
+            router="p2c",  # no replicas/autoscale: router never consulted
+        )
+        default = ExperimentConfig.create(
+            model="llama70b", system="vllm", rps=2.0, duration_s=4.0, seed=0
+        )
+        assert solo.router == "round-robin"
+        assert solo.digest() == default.digest()
+
+    def test_autoscale_defaults_canonicalized_in_cache_key(self):
+        from repro.analysis.runner import ExperimentConfig
+
+        implicit = ExperimentConfig.create(
+            model="llama70b", system="vllm", rps=2.0, duration_s=4.0, seed=0,
+            replicas=2, autoscale={},
+        )
+        explicit = ExperimentConfig.create(
+            model="llama70b", system="vllm", rps=2.0, duration_s=4.0, seed=0,
+            replicas=2, autoscale={"max_replicas": 4, "warmup_s": 5.0},
+        )
+        assert implicit.digest() == explicit.digest()
+        assert implicit.is_cluster  # empty mapping still means "on"
+        non_default = ExperimentConfig.create(
+            model="llama70b", system="vllm", rps=2.0, duration_s=4.0, seed=0,
+            replicas=2, autoscale={"max_replicas": 6},
+        )
+        assert non_default.digest() != implicit.digest()
+        # Invalid ceilings fail at config construction, not mid-sweep.
+        with pytest.raises(ValueError, match="below"):
+            ExperimentConfig.create(
+                model="llama70b", system="vllm", rps=2.0, duration_s=4.0, seed=0,
+                replicas=4, autoscale={"max_replicas": 2},
+            )
+
+    def test_config_rejects_unknown_router_and_bad_replicas(self):
+        from repro.analysis.runner import ExperimentConfig
+
+        with pytest.raises(ValueError):
+            ExperimentConfig.create(
+                model="llama70b", system="vllm", rps=2.0, duration_s=4.0,
+                seed=0, router="dns",
+            )
+        with pytest.raises(ValueError):
+            ExperimentConfig.create(
+                model="llama70b", system="vllm", rps=2.0, duration_s=4.0,
+                seed=0, replicas=0,
+            )
+
+    def test_run_cluster_rejects_ceiling_below_initial_fleet(self):
+        from repro.analysis.harness import build_setup, run_cluster
+
+        setup = build_setup("llama70b", seed=0)
+        with pytest.raises(ValueError, match="below"):
+            run_cluster(
+                setup, "vllm", fleet_workload(n=5),
+                replicas=4, autoscale={"max_replicas": 2},
+            )
+
+    def test_execute_point_dispatches_to_cluster(self):
+        from repro.analysis.runner import ExperimentConfig, execute_point
+
+        config = ExperimentConfig.create(
+            model="llama70b", system="vllm", rps=3.0, duration_s=4.0, seed=0,
+            trace="steady", replicas=2, router="least-loaded",
+        )
+        record = execute_point(config)
+        assert record["scheduler"] == "vLLM x2 [least-loaded]"
+        assert record["metrics"]["num_requests"] > 0
+        # Two invocations are identical (the cache round-trip contract).
+        assert execute_point(config) == record
+
+    def test_draining_replica_finishes_its_work(self):
+        config = AutoscalerConfig(
+            min_replicas=1,
+            max_replicas=2,
+            check_interval_s=0.5,
+            scale_up_queue=2.0,
+            scale_down_queue=1.0,
+            warmup_s=0.5,
+        )
+        # Burst then silence: the fleet scales up, then drains back down.
+        requests = fleet_workload(n=50, duration_s=4.0, rps=14.0)
+        report = make_fleet(
+            requests, LeastLoadedRouter(), replicas=1, autoscaler_config=config
+        ).run()
+        routed = sorted(
+            req.rid for rep in report.replica_reports for req in rep.requests
+        )
+        assert routed == sorted(r.rid for r in requests)
+        assert report.summary.metrics.num_finished == len(requests)

@@ -18,6 +18,7 @@ from repro.workloads.datasets import DATASETS, LengthDistribution
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.trace import (
     bursty_trace,
+    diurnal_trace,
     phased_trace,
     trace_frequency,
     uniform_trace,
@@ -145,6 +146,28 @@ class TestTraces:
     def test_phased_validation(self):
         with pytest.raises(ValueError):
             phased_trace(100, [], 2.0)
+
+    def test_diurnal_rate_matches_target(self):
+        arrivals = diurnal_trace(600, 2.0, seed=1)
+        assert abs(len(arrivals) / 600 - 2.0) < 0.3
+
+    def test_diurnal_peaks_mid_cycle(self):
+        arrivals = diurnal_trace(600, 2.0, seed=1, peak_to_trough=6.0)
+        counts = trace_frequency(arrivals, bin_s=100.0, duration_s=600)
+        # Trough at the window edges, peak in the middle of the cycle.
+        assert max(counts[2:4]) > 2 * max(counts[0], counts[5])
+
+    def test_diurnal_deterministic(self):
+        assert diurnal_trace(200, 3.0, seed=9) == diurnal_trace(200, 3.0, seed=9)
+        assert diurnal_trace(200, 3.0, seed=9) != diurnal_trace(200, 3.0, seed=10)
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ValueError):
+            diurnal_trace(0, 2.0)
+        with pytest.raises(ValueError):
+            diurnal_trace(100, 2.0, peak_to_trough=0.5)
+        with pytest.raises(ValueError):
+            diurnal_trace(100, 2.0, cycles=0)
 
     def test_trace_frequency_bins(self):
         counts = trace_frequency([0.5, 1.5, 1.7, 9.9], bin_s=1.0, duration_s=10.0)
