@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from repro.analysis.cache import ResultCache
 from repro.analysis.harness import Setup, build_setup
 from repro.analysis.report import SeriesPoint, point_from_metrics
-from repro.analysis.runner import ExperimentConfig, SweepRunner
+from repro.analysis.runner import ExperimentSpec, SweepRunner
 from repro.serving.server import SimulationReport
 
 #: Systems compared in the end-to-end figures (Figures 8-12, 14).
@@ -69,9 +69,13 @@ def standard_config(
     mix: dict[str, float] | None = None,
     slo_scale: float = 1.0,
     trace: str = "bursty",
-) -> ExperimentConfig:
-    """A standard-workload experiment point (seed and trace explicit)."""
-    return ExperimentConfig.create(
+) -> ExperimentSpec:
+    """A standard-workload experiment point (seed and trace explicit).
+
+    ``system`` and ``trace`` accept any registry spec string
+    (``vllm-spec:k=8``, ``diurnal:peak_to_trough=6``, ...).
+    """
+    return ExperimentSpec.create(
         model=model,
         system=system,
         rps=rps,

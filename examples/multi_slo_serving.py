@@ -5,6 +5,12 @@ TPOT SLO, 20% chatbot at 50 ms, 20% summarization at 150 ms) over a bursty
 arrival trace, on every system the paper evaluates, and prints the
 attainment/goodput table plus per-category breakdowns.
 
+Systems are registry spec strings (``repro list systems``): the two
+speculative baselines are the *same* component at different speculation
+lengths (``vllm-spec:k=6`` / ``vllm-spec:k=8``), not separately named
+systems.  All points execute through the cached sweep runner, so a
+second invocation performs zero simulations.
+
 Run:  python examples/multi_slo_serving.py [rps]
 """
 
@@ -12,32 +18,57 @@ from __future__ import annotations
 
 import sys
 
-from repro.analysis import build_setup, run_once
+from repro.analysis import ExperimentSpec, ResultCache, SweepRunner, build_setup
 from repro.analysis.report import format_table
 from repro.serving.metrics import violation_reduction
 from repro.workloads import WorkloadGenerator
 
-SYSTEMS = ("adaserve", "vllm-spec-6", "vllm-spec-8", "sarathi", "vllm", "vtc", "fastserve")
+SYSTEMS = (
+    "adaserve",
+    "vllm-spec:k=6",
+    "vllm-spec:k=8",
+    "sarathi",
+    "vllm",
+    "vtc",
+    "fastserve",
+)
+SEED = 3
+DURATION_S = 45.0
 
 
 def main(rps: float = 4.2) -> None:
-    setup = build_setup("llama70b")
-    gen = WorkloadGenerator(setup.target_roofline, seed=3)
-    requests = gen.bursty(duration_s=45.0, rps=rps)
+    setup = build_setup("llama70b", seed=SEED)
+    gen = WorkloadGenerator(setup.target_roofline, seed=SEED)
+    requests = gen.bursty(duration_s=DURATION_S, rps=rps)
     slos = sorted({(r.category, r.tpot_slo) for r in requests})
     print(f"workload: {len(requests)} requests at ~{rps} req/s")
     for cat, slo in slos:
         print(f"  {cat:14s} TPOT SLO {slo * 1e3:6.1f} ms")
 
-    reports = {}
-    for system in SYSTEMS:
-        print(f"running {system} ...")
-        reports[system] = run_once(setup, system, requests, max_sim_time_s=900.0)
+    specs = [
+        ExperimentSpec.create(
+            model="llama70b",
+            system=system,
+            rps=rps,
+            duration_s=DURATION_S,
+            seed=SEED,
+            max_sim_time_s=900.0,
+        )
+        for system in SYSTEMS
+    ]
+    runner = SweepRunner(cache=ResultCache(), jobs=1)
+
+    def progress(result) -> None:
+        source = "cached" if result.from_cache else "simulated"
+        print(f"  done: {result.report.scheduler_name} ({source})", file=sys.stderr)
+
+    reports = {
+        spec.system.name: result.report
+        for spec, result in zip(specs, runner.run(specs, on_result=progress))
+    }
 
     rows = []
-    for system, report in sorted(
-        reports.items(), key=lambda kv: -kv[1].metrics.attainment
-    ):
+    for report in sorted(reports.values(), key=lambda r: -r.metrics.attainment):
         m = report.metrics
         per_cat = "  ".join(
             f"{cat[:4]}:{cm.attainment * 100:3.0f}%" for cat, cm in m.per_category.items()
@@ -61,7 +92,7 @@ def main(rps: float = 4.2) -> None:
 
     ada = reports["adaserve"].metrics
     best_name, best = max(
-        ((s, r.metrics) for s, r in reports.items() if s != "adaserve"),
+        ((name, r.metrics) for name, r in reports.items() if name != "adaserve"),
         key=lambda kv: kv[1].attainment,
     )
     print(
@@ -69,6 +100,7 @@ def main(rps: float = 4.2) -> None:
         f"{violation_reduction(best, ada):.2f}x fewer violations, "
         f"{ada.goodput / best.goodput if best.goodput else float('inf'):.2f}x goodput"
     )
+    print(runner.stats_line())
 
 
 if __name__ == "__main__":

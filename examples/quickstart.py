@@ -1,15 +1,20 @@
 """Quickstart: one SLO-customized speculative decoding iteration, then a
-small end-to-end serving comparison.
+small end-to-end serving comparison through the declarative API.
+
+Part 2 shows the recommended library entry point: build an
+:class:`~repro.analysis.ExperimentSpec` (systems are registry spec
+strings — ``vllm``, ``vllm-spec:k=8``, ... — see ``repro list systems``)
+and execute it with :class:`~repro.analysis.SweepRunner`, which caches
+results on disk so re-running this script performs zero simulations.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.analysis import build_setup, run_once
+from repro.analysis import ExperimentSpec, ResultCache, SweepRunner
 from repro.core.pipeline import BatchItem, run_iteration
 from repro.model.pair import ModelPair
-from repro.workloads import WorkloadGenerator
 
 
 def single_iteration_demo() -> None:
@@ -52,22 +57,27 @@ def serving_demo() -> None:
     print("Part 2: serving a multi-SLO workload (Llama-70B on 4xA100, simulated)")
     print("=" * 70)
 
-    setup = build_setup("llama70b")
-    gen = WorkloadGenerator(setup.target_roofline, seed=7)
-    requests = gen.bursty(duration_s=30.0, rps=3.8)
-    print(f"\nworkload: {len(requests)} requests "
-          f"(coding copilot / chatbot / summarization, bursty arrivals)")
+    specs = [
+        ExperimentSpec.create(
+            model="llama70b", system=system, rps=3.8, duration_s=30.0, seed=7
+        )
+        for system in ("vllm", "adaserve")
+    ]
+    print("\nworkload: bursty arrivals at ~3.8 req/s for 30 s "
+          "(coding copilot / chatbot / summarization)")
 
-    for system in ("vllm", "adaserve"):
-        report = run_once(setup, system, requests)
-        m = report.metrics
-        print(f"\n{report.scheduler_name}:")
+    runner = SweepRunner(cache=ResultCache(), jobs=1)
+    for result in runner.run(specs):
+        m = result.report.metrics
+        source = "cached" if result.from_cache else "simulated"
+        print(f"\n{result.report.scheduler_name} ({source}):")
         print(f"  SLO attainment: {m.attainment * 100:.1f}%   goodput: {m.goodput:.0f} tok/s")
         for cat, cm in m.per_category.items():
             print(
                 f"    {cat:14s} attainment {cm.attainment * 100:5.1f}%  "
                 f"mean TPOT {cm.mean_tpot_s * 1e3:5.1f} ms"
             )
+    print(f"\n{runner.stats_line()}")
 
 
 if __name__ == "__main__":

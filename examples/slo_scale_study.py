@@ -7,6 +7,12 @@ tabulated, together with the per-iteration token requirement the scale
 implies — making the mechanism visible (a uniform decode iteration simply
 cannot fit below scale ~1.0, speculation can).
 
+The whole (scale x system) grid is declared as
+:class:`~repro.analysis.ExperimentSpec` points — the SLO scale is just
+the ``workload.slo_scale`` axis, expanded with the same grid machinery
+``repro sweep --grid`` uses — and executed through the cached runner, so
+repeated invocations perform zero simulations.
+
 Run:  python examples/slo_scale_study.py [model]
 """
 
@@ -14,14 +20,16 @@ from __future__ import annotations
 
 import sys
 
-from repro.analysis import build_setup, run_once
+from repro.analysis import ExperimentSpec, ResultCache, SweepRunner, build_setup
 from repro.analysis.report import format_table
-from repro.workloads import WorkloadGenerator
+from repro.analysis.spec import expand_grid, parse_grid_axis
 from repro.workloads.categories import urgent_mix
 
 SCALES = (1.6, 1.2, 1.0, 0.8, 0.6)
-SYSTEMS = ("adaserve", "vllm-spec-6", "sarathi", "vllm")
+SYSTEMS = ("adaserve", "vllm-spec:k=6", "sarathi", "vllm")
 RPS = 4.0
+SEED = 17
+DURATION_S = 30.0
 
 
 def main(model: str = "llama70b") -> None:
@@ -33,16 +41,43 @@ def main(model: str = "llama70b") -> None:
         slo = 1.2 * baseline * scale
         print(f"  scale {scale:>3}: SLO {slo * 1e3:5.1f} ms  ->  >= {0.040 / slo:.1f} tok/iter")
 
+    base = [
+        ExperimentSpec.create(
+            model=model,
+            system=system,
+            rps=RPS,
+            duration_s=DURATION_S,
+            seed=SEED,
+            mix=urgent_mix(0.6),
+            max_sim_time_s=900.0,
+        )
+        for system in SYSTEMS
+    ]
+    axis = parse_grid_axis("workload.slo_scale=" + ",".join(str(s) for s in SCALES))
+    grid = expand_grid(base, [axis])  # every system at every scale
+
+    runner = SweepRunner(cache=ResultCache(), jobs=1)
+
+    def progress(result) -> None:
+        source = "cached" if result.from_cache else "simulated"
+        print(
+            f"  done: scale={result.config.workload.slo_scale:g} "
+            f"{result.report.scheduler_name} ({source})",
+            file=sys.stderr,
+        )
+
+    results = runner.run(grid, on_result=progress)
+    by_point = {
+        (r.config.workload.slo_scale, r.config.system.name): r.report for r in results
+    }
+
     rows = []
     for scale in SCALES:
-        gen = WorkloadGenerator(setup.target_roofline, seed=17, slo_scale=scale)
-        requests = gen.bursty(duration_s=35.0, rps=RPS, mix=urgent_mix(0.6))
         cells = [f"{scale:g}"]
         for system in SYSTEMS:
-            report = run_once(setup, system, requests, max_sim_time_s=900.0)
-            m = report.metrics
+            canonical = base[SYSTEMS.index(system)].system.name
+            m = by_point[(scale, canonical)].metrics
             cells.append(f"{m.attainment * 100:5.1f}% / {m.goodput:4.0f}")
-            print(f"  done: scale={scale} {report.scheduler_name}", file=sys.stderr)
         rows.append(cells)
 
     print("\nattainment / goodput (tokens/s):")
@@ -54,6 +89,7 @@ def main(model: str = "llama70b") -> None:
         "the most attainment because it sizes each request's tree to its "
         "own requirement."
     )
+    print(runner.stats_line())
 
 
 if __name__ == "__main__":

@@ -15,18 +15,26 @@ Subpackages
 - ``repro.baselines`` — vLLM, Sarathi-Serve, vLLM-Spec(n), vLLM+Priority,
   FastServe, VTC.
 - ``repro.workloads`` — Table 2 categories, synthetic datasets, traces.
-- ``repro.analysis`` — experiment harness + result tables.
+- ``repro.cluster`` — multi-replica fleets: routers, autoscaler.
+- ``repro.registry`` — typed component registries (systems, routers,
+  traces, model setups) and the ``name:key=val`` spec-string grammar.
+- ``repro.analysis`` — declarative experiment specs, harness, parallel
+  runner, result cache, tables.
 
 Quickstart
 ----------
->>> from repro.analysis import build_setup, run_once
->>> from repro.workloads import WorkloadGenerator
->>> setup = build_setup("llama70b")
->>> gen = WorkloadGenerator(setup.target_roofline, seed=0)
->>> requests = gen.steady(duration_s=20.0, rps=3.0)
->>> report = run_once(setup, "adaserve", requests)
->>> 0.0 <= report.attainment <= 1.0
+>>> from repro.analysis import ExperimentSpec, SweepRunner
+>>> spec = ExperimentSpec.create(
+...     model="llama70b", system="adaserve", rps=3.0,
+...     duration_s=20.0, seed=0, trace="steady",
+... )
+>>> result = SweepRunner(cache=None).run([spec])[0]
+>>> 0.0 <= result.report.metrics.attainment <= 1.0
 True
+
+Systems, routers, and traces are referenced by registry spec strings
+(``vllm-spec:k=8``, ``affinity:reserve=0.4``, ``diurnal:peak_to_trough=6``);
+``python -m repro list systems`` enumerates them with their schemas.
 """
 
 __version__ = "0.1.0"

@@ -40,7 +40,10 @@ from pathlib import Path
 #: Bump whenever simulator semantics or the record layout change.
 #: 2: cluster fields (replicas/router/autoscale) in configs, p50 latency
 #: stats in category metrics — old records cold-start.
-SCHEMA_VERSION = 2
+#: 3: nested ExperimentSpec configs (workload/system/cluster sections)
+#: with registry-canonical component spec strings; v2 flat-config
+#: records cold-start (``repro cache-prune`` removes the stranded files).
+SCHEMA_VERSION = 3
 
 #: Default on-disk location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"

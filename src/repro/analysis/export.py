@@ -166,9 +166,13 @@ def point_from_record(record: dict) -> SeriesPoint:
     """One figure cell read straight from a cache record.
 
     ``record`` is the envelope stored by :class:`ResultCache` (``config``
-    + ``report``); the x-coordinate is the configured RPS.
+    + ``report``); the x-coordinate is the configured RPS.  Nested
+    (schema >= 3) configs carry the rate in their workload section; flat
+    pre-v3 shapes are still read for externally supplied records.
     """
     config = record["config"]
+    if "workload" in config:
+        config = config["workload"]
     report = record["report"]
     m = report["metrics"]
     return SeriesPoint(

@@ -5,15 +5,18 @@ system construction is identical everywhere:
 
 - :func:`build_setup` wires a model-pair preset to its Table 1 deployment
   (target + draft rooflines, KV manager);
-- :func:`make_scheduler` instantiates any of the seven evaluated systems
-  by name;
+- :func:`make_scheduler` instantiates any registered system from a spec
+  string (``adaserve``, ``vllm-spec:k=8``, legacy ``vllm-spec-6``, ...);
 - :func:`run_once` executes one (system, workload) simulation and returns
   the report;
 - :func:`run_cluster` executes the same workload against a router-fronted
   fleet of replicas (see :mod:`repro.cluster`).
 
-Engines and schedulers are stateful, so a fresh pair is built per run
-(per replica, for fleets).
+Schedulers, routers, and model setups are resolved through the typed
+registries in :mod:`repro.registry` — components register themselves at
+definition site, so adding a system never touches this module.  Engines
+and schedulers are stateful, so a fresh pair is built per run (per
+replica, for fleets).
 """
 
 from __future__ import annotations
@@ -21,22 +24,15 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro._rng import derive_seed
-from repro.baselines import (
-    FastServeScheduler,
-    PriorityScheduler,
-    SarathiScheduler,
-    SmartSpecScheduler,
-    VLLMScheduler,
-    VLLMSpecScheduler,
-    VTCScheduler,
-)
+from repro import baselines as _baselines  # noqa: F401 - registers the baseline systems
 from repro.cluster.autoscaler import AutoscalerConfig
 from repro.cluster.fleet import FleetReport, FleetSimulator
 from repro.cluster.router import make_router
-from repro.core.scheduler import AdaServeScheduler
+from repro.core import scheduler as _core_scheduler  # noqa: F401 - registers adaserve
 from repro.hardware.roofline import RooflineModel
 from repro.hardware.spec import DEPLOYMENT_PRESETS, DeploymentSpec
 from repro.model.pair import ModelPair
+from repro.registry import MODELS, SYSTEMS
 from repro.serving.engine import SimulatedEngine
 from repro.serving.kv_cache import KVCacheManager
 from repro.serving.request import Request
@@ -49,7 +45,8 @@ MODEL_SETUPS: dict[str, tuple[str, str, str]] = {
     "qwen32b": ("qwen32b-05b", "qwen32b-2xa100", "qwen05b-1xa100"),
 }
 
-#: Systems evaluated in the end-to-end figures.
+#: Legacy flat system names (kept for compatibility; the authoritative
+#: enumeration, including parameter schemas, is ``repro.registry.SYSTEMS``).
 SYSTEM_NAMES = (
     "adaserve",
     "vllm",
@@ -87,40 +84,44 @@ class Setup:
         return RooflineModel(self.target_deployment)
 
 
+def _register_model_setups() -> None:
+    """Announce the Table 1 model setups to the MODELS registry."""
+    for name, (pair_preset, target_name, draft_name) in MODEL_SETUPS.items():
+        target = DEPLOYMENT_PRESETS[target_name]
+        draft = DEPLOYMENT_PRESETS[draft_name]
+
+        def factory(
+            seed: int = 0, _pair=pair_preset, _target=target, _draft=draft
+        ) -> Setup:
+            return Setup(
+                pair_preset=_pair,
+                target_deployment=_target,
+                draft_deployment=_draft,
+                seed=seed,
+            )
+
+        MODELS.register(
+            name, summary=f"{pair_preset} on {target_name} (draft: {draft_name})"
+        )(factory)
+
+
+_register_model_setups()
+
+
 def build_setup(model: str, seed: int = 0) -> Setup:
-    """Setup for a named model configuration ('llama70b' or 'qwen32b')."""
-    try:
-        pair_preset, target_name, draft_name = MODEL_SETUPS[model]
-    except KeyError:
-        raise KeyError(f"unknown model setup {model!r}; available: {sorted(MODEL_SETUPS)}") from None
-    return Setup(
-        pair_preset=pair_preset,
-        target_deployment=DEPLOYMENT_PRESETS[target_name],
-        draft_deployment=DEPLOYMENT_PRESETS[draft_name],
-        seed=seed,
-    )
+    """Setup for a registered model configuration ('llama70b' or 'qwen32b')."""
+    return MODELS.create(model, seed=seed)
 
 
 def make_scheduler(system: str, engine: SimulatedEngine, **overrides) -> Scheduler:
-    """Instantiate an evaluated system by name."""
-    key = system.lower()
-    if key == "adaserve":
-        return AdaServeScheduler(engine, **overrides)
-    if key == "vllm":
-        return VLLMScheduler(engine, **overrides)
-    if key == "sarathi":
-        return SarathiScheduler(engine, **overrides)
-    if key.startswith("vllm-spec-"):
-        return VLLMSpecScheduler(engine, spec_len=int(key.rsplit("-", 1)[1]), **overrides)
-    if key == "priority":
-        return PriorityScheduler(engine, **overrides)
-    if key == "fastserve":
-        return FastServeScheduler(engine, **overrides)
-    if key == "vtc":
-        return VTCScheduler(engine, **overrides)
-    if key == "smartspec":
-        return SmartSpecScheduler(engine, **overrides)
-    raise KeyError(f"unknown system {system!r}; available: {SYSTEM_NAMES}")
+    """Instantiate a registered system from a spec string.
+
+    Accepts canonical names, parameterized specs (``vllm-spec:k=8``,
+    ``adaserve:n_max=32``), and legacy aliases (``vllm-spec-6``).
+    Keyword ``overrides`` are passed to the scheduler constructor and win
+    over spec-string parameters.
+    """
+    return SYSTEMS.create(system, engine, **overrides)
 
 
 def _clone_requests(requests: list[Request]) -> list[Request]:

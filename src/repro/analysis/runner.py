@@ -1,10 +1,10 @@
-"""Parallel experiment runner over the (system, model, rps, seed, trace) grid.
+"""Parallel experiment runner over declarative experiment specs.
 
 The sweeps behind Figures 8-15 are embarrassingly parallel: every point
 is an independent simulation, a pure function of its
-:class:`ExperimentConfig`.  :class:`SweepRunner` fans points out across a
-``ProcessPoolExecutor`` and commits each finished point to a
-:class:`~repro.analysis.cache.ResultCache`, so
+:class:`~repro.analysis.spec.ExperimentSpec`.  :class:`SweepRunner` fans
+points out across a ``ProcessPoolExecutor`` and commits each finished
+point to a :class:`~repro.analysis.cache.ResultCache`, so
 
 - ``jobs=N`` produces results identical to the serial path (points carry
   their full configuration, including the workload seed — nothing depends
@@ -16,158 +16,70 @@ Results are returned in input order regardless of completion order.  To
 keep cached and freshly-executed results indistinguishable, every report
 is round-tripped through its JSON record form (per-request detail is
 dropped; all aggregates survive exactly).
+
+``ExperimentConfig`` is a backwards-compatible alias of
+:class:`ExperimentSpec`: the flat ``.create(...)`` constructor still
+works, as do the flat read accessors ``.model``, ``.rps``,
+``.duration_s``, ``.seed``, ``.trace``, ``.slo_scale``, ``.mix``,
+``.max_sim_time_s``, ``.replicas``, ``.router``, and ``.autoscale``.
+The one exception is ``.system``: it now returns the nested
+:class:`~repro.analysis.spec.SystemSpec` section — read the scheduler
+spec string via ``.system.name`` (or the ``.system_name`` alias).
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from collections.abc import Callable, Iterable, Mapping, Sequence
-from dataclasses import asdict, dataclass, replace
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
 
 from repro._rng import derive_seed
-from repro.analysis.cache import ResultCache, config_key
+from repro.analysis.cache import ResultCache
 from repro.analysis.export import report_from_dict, report_to_dict
 from repro.analysis.harness import Setup, build_setup, run_cluster, run_once
-from repro.cluster.autoscaler import AutoscalerConfig
-from repro.cluster.router import ROUTER_NAMES
+from repro.analysis.spec import ClusterSpec, ExperimentSpec, SystemSpec, WorkloadSpec
+from repro.registry import TRACES
 from repro.serving.request import Request
 from repro.serving.server import SimulationReport
 from repro.workloads.generator import WorkloadGenerator
 
-#: Trace kinds :func:`build_workload` understands.
+__all__ = [
+    "TRACE_KINDS",
+    "ClusterSpec",
+    "ExperimentConfig",
+    "ExperimentSpec",
+    "SweepResult",
+    "SweepRunner",
+    "SystemSpec",
+    "WorkloadSpec",
+    "build_workload",
+    "derive_seed",
+    "execute_point",
+]
+
+#: Legacy flat trace names (the authoritative enumeration, including
+#: parameter schemas, is ``repro.registry.TRACES``).
 TRACE_KINDS = ("bursty", "steady", "phased", "diurnal")
 
+#: Backwards-compatible alias: the flat config class grew sections.
+ExperimentConfig = ExperimentSpec
 
-@dataclass(frozen=True)
-class ExperimentConfig:
-    """Complete description of one simulation point.
 
-    Every field participates in the cache key, so anything that can
-    change a result (notably the workload ``seed`` and ``trace`` kind)
-    is explicit here rather than implied by call-site defaults.
+def build_workload(setup: Setup, config: ExperimentSpec) -> list[Request]:
+    """The request trace for a spec (same recipe as the CLI/benchmarks).
+
+    The workload section's ``trace`` is a registry spec string
+    (``bursty``, ``diurnal:peak_to_trough=6``, ...); its parameters are
+    forwarded to the registered trace factory.
     """
-
-    model: str
-    system: str
-    rps: float
-    duration_s: float
-    seed: int
-    trace: str = "bursty"
-    slo_scale: float = 1.0
-    mix: tuple[tuple[str, float], ...] | None = None
-    max_sim_time_s: float = 1800.0
-    # Cluster fields (replicas == 1 with no autoscale is the solo path).
-    replicas: int = 1
-    router: str = "round-robin"
-    autoscale: tuple[tuple[str, float], ...] | None = None
-
-    @classmethod
-    def create(
-        cls,
-        model: str,
-        system: str,
-        rps: float,
-        duration_s: float,
-        seed: int,
-        trace: str = "bursty",
-        slo_scale: float = 1.0,
-        mix: Mapping[str, float] | None = None,
-        max_sim_time_s: float = 1800.0,
-        replicas: int = 1,
-        router: str = "round-robin",
-        autoscale: Mapping[str, float] | None = None,
-    ) -> "ExperimentConfig":
-        """Build a config, normalizing ``mix``/``autoscale`` to tuples.
-
-        Semantically identical points must hash identically, so inert or
-        defaulted choices are canonicalized away: solo points (one
-        replica, no autoscaling) never consult a router, so ``router``
-        collapses to the default there, and ``autoscale`` knobs are
-        resolved against :class:`AutoscalerConfig` defaults (with the
-        2x-initial-fleet ceiling) before entering the key — spelling out
-        a default explicitly cannot fork the cache.
-        """
-        if trace not in TRACE_KINDS:
-            raise ValueError(f"unknown trace kind {trace!r}; available: {TRACE_KINDS}")
-        if router not in ROUTER_NAMES:
-            raise ValueError(f"unknown router {router!r}; available: {ROUTER_NAMES}")
-        if replicas < 1:
-            raise ValueError(f"replicas must be >= 1, got {replicas}")
-        if replicas == 1 and autoscale is None:
-            router = "round-robin"
-        canonical_autoscale = None
-        if autoscale is not None:
-            resolved = AutoscalerConfig.resolve(autoscale, initial_replicas=replicas)
-            canonical_autoscale = tuple(sorted(asdict(resolved).items()))
-        return cls(
-            model=model,
-            system=system,
-            rps=float(rps),
-            duration_s=float(duration_s),
-            seed=int(seed),
-            trace=trace,
-            slo_scale=float(slo_scale),
-            mix=tuple(sorted(mix.items())) if mix else None,
-            max_sim_time_s=float(max_sim_time_s),
-            replicas=int(replicas),
-            router=router,
-            autoscale=canonical_autoscale,
-        )
-
-    def to_dict(self) -> dict:
-        """JSON-serializable form (the cache-key payload)."""
-        return {
-            "model": self.model,
-            "system": self.system,
-            "rps": self.rps,
-            "duration_s": self.duration_s,
-            "seed": self.seed,
-            "trace": self.trace,
-            "slo_scale": self.slo_scale,
-            "mix": [list(pair) for pair in self.mix] if self.mix else None,
-            "max_sim_time_s": self.max_sim_time_s,
-            "replicas": self.replicas,
-            "router": self.router,
-            "autoscale": (
-                [list(pair) for pair in self.autoscale]
-                if self.autoscale is not None
-                else None
-            ),
-        }
-
-    @property
-    def is_cluster(self) -> bool:
-        """Whether this point runs the fleet path rather than one engine."""
-        return self.replicas > 1 or self.autoscale is not None
-
-    def digest(self) -> str:
-        """Content address of this config (see :func:`~repro.analysis.cache.config_key`)."""
-        return config_key(self)
-
-    def with_replica(self, index: int) -> "ExperimentConfig":
-        """Copy with a replica seed derived deterministically via ``repro._rng``."""
-        return replace(self, seed=derive_seed(self.seed, "replica", index))
+    w = config.workload
+    gen = WorkloadGenerator(setup.target_roofline, seed=w.seed, slo_scale=w.slo_scale)
+    mix = dict(w.mix) if w.mix else None
+    return TRACES.create(w.trace, gen, w.duration_s, w.rps, mix=mix)
 
 
-def build_workload(setup: Setup, config: ExperimentConfig) -> list[Request]:
-    """The request trace for a config (same recipe as the CLI/benchmarks)."""
-    gen = WorkloadGenerator(
-        setup.target_roofline, seed=config.seed, slo_scale=config.slo_scale
-    )
-    mix = dict(config.mix) if config.mix else None
-    if config.trace == "bursty":
-        return gen.bursty(config.duration_s, config.rps, mix=mix)
-    if config.trace == "steady":
-        return gen.steady(config.duration_s, config.rps, mix=mix)
-    if config.trace == "diurnal":
-        return gen.diurnal(config.duration_s, config.rps, mix=mix)
-    if config.trace == "phased":
-        return gen.phased(config.duration_s, peak_rps=config.rps)
-    raise ValueError(f"unknown trace kind {config.trace!r}")
-
-
-def execute_point(config: ExperimentConfig) -> dict:
+def execute_point(config: ExperimentSpec) -> dict:
     """Run one simulation point and return its serialized report.
 
     Top-level (picklable) so it can serve as the process-pool worker;
@@ -176,21 +88,25 @@ def execute_point(config: ExperimentConfig) -> dict:
     their record carries the fleet-level summary, so the cache and the
     sweep machinery handle them exactly like solo points.
     """
-    setup = build_setup(config.model, seed=config.seed)
+    setup = build_setup(config.system.model, seed=config.workload.seed)
     requests = build_workload(setup, config)
     if config.is_cluster:
         fleet = run_cluster(
             setup,
-            config.system,
+            config.system.name,
             requests,
-            replicas=config.replicas,
-            router=config.router,
-            autoscale=dict(config.autoscale) if config.autoscale is not None else None,
-            max_sim_time_s=config.max_sim_time_s,
+            replicas=config.cluster.replicas,
+            router=config.cluster.router,
+            autoscale=(
+                dict(config.cluster.autoscale)
+                if config.cluster.autoscale is not None
+                else None
+            ),
+            max_sim_time_s=config.system.max_sim_time_s,
         )
         return report_to_dict(fleet.summary)
     report = run_once(
-        setup, config.system, requests, max_sim_time_s=config.max_sim_time_s
+        setup, config.system.name, requests, max_sim_time_s=config.system.max_sim_time_s
     )
     return report_to_dict(report)
 

@@ -10,6 +10,7 @@ preemptions, as FastServe keeps state in its proactive memory manager.
 
 from __future__ import annotations
 
+from repro.registry import SYSTEMS
 from repro.serving.request import Request
 from repro.serving.scheduler_base import Scheduler
 
@@ -17,6 +18,10 @@ from repro.serving.scheduler_base import Scheduler
 DEFAULT_QUANTA = (16, 32, 64, 128)
 
 
+@SYSTEMS.register(
+    "fastserve",
+    summary="preemptive skip-join MLFQ over output tokens (FastServe)",
+)
 class FastServeScheduler(Scheduler):
     """Skip-join MLFQ over output tokens with preemptive decode batches."""
 

@@ -11,12 +11,23 @@ relaxed categories.
 
 from __future__ import annotations
 
+from repro.registry import SYSTEMS, Param
 from repro.serving.scheduler_base import Scheduler
 
 #: Cap on the urgent-only decode batch (small to keep latency low).
 DEFAULT_URGENT_BATCH_CAP = 8
 
 
+@SYSTEMS.register(
+    "priority",
+    params=[
+        Param(
+            "cap", "int", default=DEFAULT_URGENT_BATCH_CAP, dest="urgent_batch_cap", minimum=1,
+            help="cap on the urgent-only decode batch",
+        ),
+    ],
+    summary="strict-priority decode with constrained urgent batches",
+)
 class PriorityScheduler(Scheduler):
     """Strict-priority decode with constrained urgent batches."""
 

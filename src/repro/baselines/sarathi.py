@@ -11,6 +11,7 @@ slower prefill completion.
 
 from __future__ import annotations
 
+from repro.registry import SYSTEMS, Param
 from repro.serving.kv_cache import OutOfKVCache
 from repro.serving.request import RequestState
 from repro.serving.scheduler_base import Scheduler
@@ -19,6 +20,16 @@ from repro.serving.scheduler_base import Scheduler
 DEFAULT_CHUNK_BUDGET = 256
 
 
+@SYSTEMS.register(
+    "sarathi",
+    params=[
+        Param(
+            "chunk", "int", default=DEFAULT_CHUNK_BUDGET, dest="chunk_budget", minimum=1,
+            help="per-iteration token budget (decode tokens + prefill chunk)",
+        ),
+    ],
+    summary="chunked prefill co-batched with decode (Sarathi-Serve)",
+)
 class SarathiScheduler(Scheduler):
     """Chunked-prefill co-batching (vLLM + chunked prefill in Figure 1)."""
 

@@ -24,6 +24,7 @@ Policy reproduced here:
 from __future__ import annotations
 
 from repro.model.acceptance import verify_sequence
+from repro.registry import SYSTEMS, Param
 from repro.serving.request import Request
 from repro.serving.scheduler_base import Scheduler
 
@@ -34,6 +35,16 @@ DEFAULT_K_MAX = 8
 _EMA_ALPHA = 0.15
 
 
+@SYSTEMS.register(
+    "smartspec",
+    params=[
+        Param(
+            "k_max", "int", default=DEFAULT_K_MAX, minimum=1,
+            help="upper bound on the adaptive draft chain length",
+        ),
+    ],
+    summary="goodput-adaptive chain speculation (SmartSpec-style)",
+)
 class SmartSpecScheduler(Scheduler):
     """Goodput-adaptive chain speculation on continuous batching."""
 

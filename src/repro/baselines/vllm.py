@@ -11,9 +11,14 @@ paper's Figure 1 demonstrates.
 
 from __future__ import annotations
 
+from repro.registry import SYSTEMS
 from repro.serving.scheduler_base import Scheduler
 
 
+@SYSTEMS.register(
+    "vllm",
+    summary="continuous batching with prefill priority, uniform decode",
+)
 class VLLMScheduler(Scheduler):
     """Continuous batching with prefill priority and uniform decode."""
 

@@ -15,10 +15,26 @@ inflating iteration latency for everyone.
 from __future__ import annotations
 
 from repro.model.acceptance import verify_sequence
+from repro.registry import SYSTEMS, Param
 from repro.serving.request import Request
 from repro.serving.scheduler_base import Scheduler
 
 
+@SYSTEMS.register(
+    "vllm-spec",
+    params=[
+        Param(
+            "k", "int", default=4, dest="spec_len", minimum=1,
+            help="static speculation length (tokens drafted per request per iteration)",
+        ),
+    ],
+    aliases={
+        "vllm-spec-4": {"k": 4},
+        "vllm-spec-6": {"k": 6},
+        "vllm-spec-8": {"k": 8},
+    },
+    summary="vLLM + fixed-length sequence speculative decoding",
+)
 class VLLMSpecScheduler(Scheduler):
     """Static-length sequence speculative decoding on continuous batching.
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro.registry import SYSTEMS
 from repro.serving.scheduler_base import Scheduler
 
 #: Weight of a prompt token relative to an output token in the counter
@@ -20,6 +21,10 @@ from repro.serving.scheduler_base import Scheduler
 INPUT_TOKEN_WEIGHT = 0.5
 
 
+@SYSTEMS.register(
+    "vtc",
+    summary="fair-share decode via per-category virtual token counters",
+)
 class VTCScheduler(Scheduler):
     """Fair-share decode ordered by per-category virtual token counters."""
 

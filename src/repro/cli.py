@@ -4,10 +4,18 @@ The subcommands mirror how the repository is used:
 
 - ``run``: serve one workload with one system and print the metrics;
 - ``sweep``: the Figure 8/9 RPS sweep for a set of systems (optionally
-  at cluster scale via ``--replicas``/``--router``);
+  at cluster scale via ``--replicas``/``--router``, and over arbitrary
+  registered parameters via ``--grid``);
 - ``cluster``: serve one workload with a router-fronted replica fleet,
   optionally autoscaled;
+- ``list``: introspect the component registries (systems, routers,
+  traces, models) with their parameter schemas;
 - ``profile``: hardware profiling (Table 1 derived quantities).
+
+Components are referenced by registry spec strings — ``adaserve``,
+``vllm-spec:k=8``, ``affinity:reserve=0.4``, ``diurnal:peak_to_trough=6``
+— with legacy names (``vllm-spec-8``) accepted as aliases; ``repro list``
+shows everything that is registered.
 
 ``run``, ``sweep``, and ``cluster`` execute through the content-addressed
 result cache (:mod:`repro.analysis.cache`), so repeating an
@@ -23,38 +31,88 @@ Examples
 
     python -m repro run --system adaserve --model llama70b --rps 4.0
     python -m repro sweep --model qwen32b --systems adaserve vllm --rps 2.4 3.2 4.0 --jobs 4
-    python -m repro cluster --replicas 4 --router p2c --rps 12 --trace diurnal
+    python -m repro sweep --systems vllm-spec --rps 4.2 --grid system.k=2,4,6,8
+    python -m repro cluster --replicas 4 --router affinity:reserve=0.5 --rps 12 --trace diurnal
+    python -m repro list systems
     python -m repro profile --model llama70b
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from pathlib import Path
 
 from repro.analysis.cache import ResultCache
 from repro.analysis.export import points_to_json, report_to_json
-from repro.analysis.harness import MODEL_SETUPS, SYSTEM_NAMES, build_setup
+from repro.analysis.harness import build_setup
 from repro.analysis.report import format_table, point_from_metrics, series_table
-from repro.analysis.runner import TRACE_KINDS, ExperimentConfig, SweepRunner
-from repro.cluster.router import ROUTER_NAMES
+from repro.analysis.runner import ExperimentConfig, SweepRunner
+from repro.analysis.spec import apply_axis, parse_grid_axis
 from repro.hardware.profiler import HardwareProfiler
+from repro.registry import MODELS, ROUTERS, SYSTEMS, TRACES, SpecError
 from repro.workloads.categories import urgent_mix
+
+#: Introspectable registries, by the plural the ``list`` subcommand uses.
+_REGISTRIES = {
+    "systems": SYSTEMS,
+    "routers": ROUTERS,
+    "traces": TRACES,
+    "models": MODELS,
+}
+
+
+def _spec_type(registry):
+    """Argparse type validating (and canonicalizing) a component spec."""
+
+    def parse(text: str) -> str:
+        try:
+            return registry.canonical(text)
+        except SpecError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+
+    parse.__name__ = registry.kind  # shown in argparse error messages
+    return parse
+
+
+_system_spec = _spec_type(SYSTEMS)
+_router_spec = _spec_type(ROUTERS)
+_trace_spec = _spec_type(TRACES)
+_model_spec = _spec_type(MODELS)
+
+
+def _fraction(text: str) -> float:
+    value = float(text)
+    if not 0.0 <= value <= 1.0:  # NaN fails both comparisons
+        raise argparse.ArgumentTypeError(f"must be in [0, 1], got {value:g}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive finite number, got {value:g}")
+    return value
 
 
 def _add_workload_args(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--model", choices=sorted(MODEL_SETUPS), default="llama70b")
-    p.add_argument("--duration", type=float, default=45.0, help="trace length (s)")
+    p.add_argument("--model", type=_model_spec, default="llama70b")
+    p.add_argument("--duration", type=_positive_float, default=45.0, help="trace length (s)")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--trace", choices=TRACE_KINDS, default="bursty")
+    p.add_argument(
+        "--trace",
+        type=_trace_spec,
+        default="bursty",
+        help="trace spec (see `repro list traces`), e.g. diurnal:peak_to_trough=6",
+    )
     p.add_argument(
         "--urgent-fraction",
-        type=float,
+        type=_fraction,
         default=None,
-        help="category-1 share (default: the paper's 60/20/20 mix)",
+        help="category-1 share in [0, 1] (default: the paper's 60/20/20 mix)",
     )
-    p.add_argument("--slo-scale", type=float, default=1.0)
+    p.add_argument("--slo-scale", type=_positive_float, default=1.0)
 
 
 def _positive_int(text: str) -> int:
@@ -213,22 +271,63 @@ def _cmd_sweep(args) -> int:
         return 2
     cache = _make_cache(args)
     runner = SweepRunner(cache=cache, jobs=args.jobs)
-    configs = _dedupe(
-        [
-            _config_for(
-                args, system, rps,
-                replicas=args.replicas,
-                router=args.router or "round-robin",
-            )
-            for rps in args.rps
-            for system in args.systems
-        ]
-    )
+    base = [
+        _config_for(
+            args, system, rps,
+            replicas=args.replicas,
+            router=args.router or "round-robin",
+        )
+        for rps in args.rps
+        for system in args.systems
+    ]
+    # Expand grid axes cell by cell, keeping a per-cell label: sweep
+    # output is keyed by (rps, series label), and parameters that do not
+    # show up in the scheduler's display name (seed, n_max, ...) would
+    # otherwise silently collapse distinct cells into one table column.
+    # System parameters are labeled from the canonical spec (so
+    # `--systems adaserve adaserve:n_max=2` also stays distinguishable);
+    # non-system axes are labeled with their grid cell.
+    try:
+        axes = [parse_grid_axis(axis) for axis in args.grid or []]
+        cells = [(config, "") for config in base]
+        for axis in axes:
+            section, key = axis.path.split(".", 1)
+            cells = [
+                (
+                    apply_axis(config, axis.path, value),
+                    label
+                    if section == "system"
+                    else (f"{label},{key}={value}" if label else f"{key}={value}"),
+                )
+                for config, label in cells
+                for value in axis.values
+            ]
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # A system component that appears with several distinct canonical
+    # specs contributes its non-default parameters to the label.
+    variants: dict[str, set[str]] = {}
+    for config, _ in cells:
+        component = config.system.name.partition(":")[0]
+        variants.setdefault(component, set()).add(config.system.name)
+    labels: dict[str, str] = {}
+    for config, label in cells:
+        component, _, params = config.system.name.partition(":")
+        if params and len(variants[component]) > 1:
+            label = f"{params},{label}" if label else params
+        labels.setdefault(config.digest(), label)
+    configs = _dedupe([config for config, _ in cells])
+
+    def series_label(result) -> str:
+        suffix = labels.get(result.key, "")
+        name = result.report.scheduler_name
+        return f"{name} [{suffix}]" if suffix else name
 
     def progress(result) -> None:
         source = "cached" if result.from_cache else "simulated"
         print(
-            f"  done: rps={result.config.rps:g} {result.report.scheduler_name} ({source})",
+            f"  done: rps={result.config.rps:g} {series_label(result)} ({source})",
             file=sys.stderr,
         )
 
@@ -237,7 +336,7 @@ def _cmd_sweep(args) -> int:
     # Reports are already round-tripped through their cache-record form,
     # so cached and fresh points are identical here.
     points = [
-        point_from_metrics(r.config.rps, r.report.scheduler_name, r.report.metrics)
+        point_from_metrics(r.config.rps, series_label(r), r.report.metrics)
         for r in results
     ]
     print("\nSLO attainment:")
@@ -247,6 +346,21 @@ def _cmd_sweep(args) -> int:
     print()
     print(stats_line)
     _write_out(args.out, points_to_json(points))
+    return 0
+
+
+def _cmd_list(args) -> int:
+    """Introspect a component registry: names, aliases, parameter schemas."""
+    registry = _REGISTRIES[args.kind]
+    for row in registry.describe():
+        line = row["name"]
+        if row["summary"]:
+            line += f" — {row['summary']}"
+        print(line)
+        for alias in row["aliases"]:
+            print(f"    alias: {alias}")
+        for param in row["params"]:
+            print(f"    param: {param}")
     return 0
 
 
@@ -281,9 +395,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="serve one workload with one system")
     _add_workload_args(p_run)
     _add_cache_args(p_run)
-    p_run.add_argument("--system", choices=SYSTEM_NAMES, default="adaserve")
-    p_run.add_argument("--rps", type=float, default=4.0)
-    p_run.add_argument("--max-sim-time", type=float, default=1800.0)
+    p_run.add_argument(
+        "--system",
+        type=_system_spec,
+        default="adaserve",
+        help="system spec (see `repro list systems`), e.g. vllm-spec:k=8",
+    )
+    p_run.add_argument("--rps", type=_positive_float, default=4.0)
+    p_run.add_argument("--max-sim-time", type=_positive_float, default=1800.0)
     p_run.add_argument("--out", default=None, help="write the report as strict JSON")
     p_run.set_defaults(func=_cmd_run)
 
@@ -296,9 +415,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for cache-missing points (default: 1, serial)",
     )
-    p_sweep.add_argument("--systems", nargs="+", choices=SYSTEM_NAMES, default=["adaserve", "vllm"])
-    p_sweep.add_argument("--rps", nargs="+", type=float, default=[2.6, 3.4, 4.2])
-    p_sweep.add_argument("--max-sim-time", type=float, default=1800.0)
+    p_sweep.add_argument(
+        "--systems",
+        nargs="+",
+        type=_system_spec,
+        default=["adaserve", "vllm"],
+        help="system specs (see `repro list systems`)",
+    )
+    p_sweep.add_argument("--rps", nargs="+", type=_positive_float, default=[2.6, 3.4, 4.2])
+    p_sweep.add_argument("--max-sim-time", type=_positive_float, default=1800.0)
     p_sweep.add_argument(
         "--replicas",
         type=_positive_int,
@@ -307,9 +432,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument(
         "--router",
-        choices=ROUTER_NAMES,
+        type=_router_spec,
         default=None,
-        help="routing policy (requires --replicas > 1; default: round-robin)",
+        help="routing policy spec (requires --replicas > 1; default: round-robin)",
+    )
+    p_sweep.add_argument(
+        "--grid",
+        action="append",
+        default=None,
+        metavar="SECTION.KEY=V1,V2,...",
+        help="extra sweep axis over a registered parameter, e.g. system.k=4,6,8 "
+        "or trace.peak_to_trough=2,8 (repeatable; axes combine as a cartesian product)",
     )
     p_sweep.add_argument("--out", default=None, help="write sweep points as strict JSON")
     p_sweep.set_defaults(func=_cmd_sweep)
@@ -319,10 +452,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_args(p_cluster)
     _add_cache_args(p_cluster)
-    p_cluster.add_argument("--system", choices=SYSTEM_NAMES, default="adaserve")
-    p_cluster.add_argument("--rps", type=float, default=12.0)
+    p_cluster.add_argument("--system", type=_system_spec, default="adaserve")
+    p_cluster.add_argument("--rps", type=_positive_float, default=12.0)
     p_cluster.add_argument("--replicas", type=_positive_int, default=4)
-    p_cluster.add_argument("--router", choices=ROUTER_NAMES, default="round-robin")
+    p_cluster.add_argument(
+        "--router",
+        type=_router_spec,
+        default="round-robin",
+        help="routing policy spec (see `repro list routers`), e.g. affinity:reserve=0.4",
+    )
     p_cluster.add_argument(
         "--autoscale",
         action="store_true",
@@ -340,9 +478,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seconds before an autoscaled replica becomes routable",
     )
-    p_cluster.add_argument("--max-sim-time", type=float, default=1800.0)
+    p_cluster.add_argument("--max-sim-time", type=_positive_float, default=1800.0)
     p_cluster.add_argument("--out", default=None, help="write the report as strict JSON")
     p_cluster.set_defaults(func=_cmd_cluster)
+
+    p_list = sub.add_parser(
+        "list", help="introspect a component registry and its parameter schemas"
+    )
+    p_list.add_argument("kind", choices=sorted(_REGISTRIES))
+    p_list.set_defaults(func=_cmd_list)
 
     p_prune = sub.add_parser(
         "cache-prune",
@@ -356,7 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prune.set_defaults(func=_cmd_cache_prune)
 
     p_prof = sub.add_parser("profile", help="hardware profiling for a deployment")
-    p_prof.add_argument("--model", choices=sorted(MODEL_SETUPS), default="llama70b")
+    p_prof.add_argument("--model", type=_model_spec, default="llama70b")
     p_prof.add_argument("--seed", type=int, default=0)
     p_prof.add_argument("--slack", type=float, default=1.5)
     p_prof.set_defaults(func=_cmd_profile)

@@ -31,9 +31,12 @@ from collections.abc import Sequence
 
 from repro._rng import hash_seed, randint
 from repro.cluster.replica import Replica
+from repro.registry import ROUTERS, Param
 from repro.serving.request import Request
 
-#: Router registry keys, in the order the CLI advertises them.
+#: Router registry keys, in the order the CLI advertises them (kept as a
+#: static tuple for backwards compatibility; :data:`repro.registry.ROUTERS`
+#: is the authoritative enumeration).
 ROUTER_NAMES = ("round-robin", "least-loaded", "p2c", "affinity")
 
 
@@ -58,6 +61,7 @@ def _least_loaded(replicas: Sequence[Replica]) -> Replica:
     return min(replicas, key=lambda r: (r.queued_tokens, r.index))
 
 
+@ROUTERS.register("round-robin", summary="cycle through routable replicas in index order")
 class RoundRobinRouter(Router):
     """Cycle through routable replicas in index order."""
 
@@ -72,6 +76,7 @@ class RoundRobinRouter(Router):
         return choice
 
 
+@ROUTERS.register("least-loaded", summary="fewest queued tokens wins, ties to lowest index")
 class LeastLoadedRouter(Router):
     """Send each request to the replica with the fewest queued tokens."""
 
@@ -81,6 +86,7 @@ class LeastLoadedRouter(Router):
         return _least_loaded(replicas)
 
 
+@ROUTERS.register("p2c", summary="power-of-two-choices: sample two replicas, keep the less loaded")
 class PowerOfTwoRouter(Router):
     """Sample two distinct replicas (seeded); keep the less loaded."""
 
@@ -99,6 +105,18 @@ class PowerOfTwoRouter(Router):
         return _least_loaded([replicas[first], replicas[second]])
 
 
+@ROUTERS.register(
+    "affinity",
+    params=[
+        Param(
+            "reserve", "float", default=None, dest="reserved_fraction", allow_auto=True,
+            minimum=0.0, maximum=1.0, exclusive_min=True, exclusive_max=True,
+            help="fraction of the fleet reserved for urgent categories "
+            "(auto: sized adaptively from the urgent token share)",
+        ),
+    ],
+    summary="reserve a headroom-sized slice of the fleet for urgent categories",
+)
 class AffinityRouter(Router):
     """Pin urgent categories to a reserved slice of the fleet.
 
@@ -159,14 +177,10 @@ class AffinityRouter(Router):
 
 
 def make_router(name: str, seed: int = 0, **kwargs) -> Router:
-    """Instantiate a routing policy by registry key."""
-    key = name.lower()
-    if key == "round-robin":
-        return RoundRobinRouter(**kwargs)
-    if key == "least-loaded":
-        return LeastLoadedRouter(**kwargs)
-    if key == "p2c":
-        return PowerOfTwoRouter(seed=seed, **kwargs)
-    if key == "affinity":
-        return AffinityRouter(**kwargs)
-    raise KeyError(f"unknown router {name!r}; available: {ROUTER_NAMES}")
+    """Instantiate a routing policy from a spec string.
+
+    Accepts any :data:`~repro.registry.ROUTERS` spec (``p2c``,
+    ``affinity:reserve=0.4``, ...); ``seed`` is passed to policies whose
+    constructor takes one and silently dropped otherwise.
+    """
+    return ROUTERS.create(name, seed=seed, **kwargs)

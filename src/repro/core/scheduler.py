@@ -26,6 +26,7 @@ from repro.core.adaptive import AdaptiveConfig, AdaptiveController
 from repro.core.pipeline import BatchItem, run_iteration
 from repro.core.selection import DEFAULT_N_MAX
 from repro.hardware.profiler import HardwareProfiler
+from repro.registry import SYSTEMS, Param
 from repro.serving.engine import SimulatedEngine
 from repro.serving.kv_cache import OutOfKVCache
 from repro.serving.request import Request
@@ -35,6 +36,30 @@ from repro.serving.scheduler_base import Scheduler
 DEFAULT_PREFILL_CHUNK = 256
 
 
+@SYSTEMS.register(
+    "adaserve",
+    params=[
+        Param(
+            "n_max", "int", default=DEFAULT_N_MAX, minimum=1,
+            help="per-request token cap during SLO-customized selection",
+        ),
+        Param(
+            "slack", "float", default=1.5, dest="budget_slack",
+            minimum=1.0,
+            help="latency slack used when profiling the verification budget",
+        ),
+        Param(
+            "margin", "float", default=0.9, dest="slo_margin",
+            minimum=0.0, maximum=1.0, exclusive_min=True,
+            help="fraction of each SLO the requirement computation targets",
+        ),
+        Param(
+            "chunk", "int", default=DEFAULT_PREFILL_CHUNK, dest="prefill_chunk", minimum=1,
+            help="prompt tokens co-batched into each verification pass",
+        ),
+    ],
+    summary="SLO-customized speculative decoding (the paper's system)",
+)
 class AdaServeScheduler(Scheduler):
     """SLO-customized speculative decoding over the serving substrate.
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro._rng import hash_seed, uniform
 from repro.hardware.roofline import RooflineModel
+from repro.registry import TRACES, Param
 from repro.serving.request import Request
 from repro.workloads.categories import CATEGORIES, DEFAULT_MIX, Category
 from repro.workloads.datasets import DATASETS, SyntheticDataset
@@ -96,9 +97,12 @@ class WorkloadGenerator:
         duration_s: float,
         rps: float,
         mix: dict[str, float] | None = None,
+        burstiness: float = 0.5,
     ) -> list[Request]:
         """Figure 7-style workload at a target average RPS."""
-        return self.from_arrivals(bursty_trace(duration_s, rps, seed=self.seed), mix)
+        return self.from_arrivals(
+            bursty_trace(duration_s, rps, seed=self.seed, burstiness=burstiness), mix
+        )
 
     def steady(
         self,
@@ -142,3 +146,59 @@ class WorkloadGenerator:
             self._make_request(rid, t, self.categories[cat])
             for rid, (t, cat) in enumerate(pairs)
         ]
+
+
+# ----------------------------------------------------------------------
+# Trace registry: each kind maps an experiment workload section to a
+# request list through one WorkloadGenerator method.  The factory
+# signature is uniform — (generator, duration_s, rps, mix=None, **params)
+# — so registered trace parameters are sweepable like any other axis.
+
+
+@TRACES.register(
+    "bursty",
+    params=[
+        Param(
+            "burstiness", "float", default=0.5,
+            minimum=0.0, maximum=1.0, exclusive_max=True,
+            help="modulation depth of the sinusoid+spike rate shape",
+        ),
+    ],
+    summary="Figure 7-shaped arrivals: sinusoids plus seeded bursts",
+)
+def _bursty(gen: WorkloadGenerator, duration_s, rps, mix=None, burstiness=0.5):
+    return gen.bursty(duration_s, rps, mix=mix, burstiness=burstiness)
+
+
+@TRACES.register("steady", summary="homogeneous-Poisson arrivals")
+def _steady(gen: WorkloadGenerator, duration_s, rps, mix=None):
+    return gen.steady(duration_s, rps, mix=mix)
+
+
+@TRACES.register(
+    "diurnal",
+    params=[
+        Param(
+            "peak_to_trough", "float", default=4.0, minimum=1.0,
+            help="peak:trough rate ratio of the day/night cycle",
+        ),
+    ],
+    summary="day/night sinusoidal cycle (the autoscaling scenario)",
+)
+def _diurnal(gen: WorkloadGenerator, duration_s, rps, mix=None, peak_to_trough=4.0):
+    return gen.diurnal(duration_s, rps, mix=mix, peak_to_trough=peak_to_trough)
+
+
+@TRACES.register(
+    "phased",
+    params=[
+        Param(
+            "base_rps", "float", default=0.3, minimum=0.0, exclusive_min=True,
+            help="off-peak arrival rate of each category",
+        ),
+    ],
+    summary="Figure 13 trace: categories peak at staggered times (fixed mix)",
+)
+def _phased(gen: WorkloadGenerator, duration_s, rps, mix=None, base_rps=0.3):
+    # The phased trace defines its own category schedule; mix is ignored.
+    return gen.phased(duration_s, peak_rps=rps, base_rps=base_rps)

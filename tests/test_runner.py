@@ -36,7 +36,8 @@ class TestConfig:
             model="llama70b", system="vllm", rps=1.0, duration_s=4.0, seed=0,
             mix={"coding": 0.7, "chatbot": 0.3},
         )
-        assert config.to_dict()["mix"] == [["chatbot", 0.3], ["coding", 0.7]]
+        assert config.to_dict()["workload"]["mix"] == [["chatbot", 0.3], ["coding", 0.7]]
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
 
 
 class TestDeriveSeed:

@@ -1,0 +1,232 @@
+"""Tests for the declarative ExperimentSpec and grid expansion."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.runner import ExperimentConfig
+from repro.analysis.spec import (
+    ClusterSpec,
+    ExperimentSpec,
+    SystemSpec,
+    WorkloadSpec,
+    apply_axis,
+    expand_grid,
+    parse_grid_axis,
+)
+from repro.registry import SpecError, UnknownParamError
+
+#: Every legacy system name maps to its explicit parameterized spelling.
+LEGACY_EQUIVALENTS = {
+    "adaserve": "adaserve:n_max=16,slack=1.5,margin=0.9,chunk=256",
+    "vllm": "vllm",
+    "sarathi": "sarathi:chunk=256",
+    "vllm-spec-4": "vllm-spec:k=4",
+    "vllm-spec-6": "vllm-spec:k=6",
+    "vllm-spec-8": "vllm-spec:k=8",
+    "priority": "priority:cap=8",
+    "fastserve": "fastserve",
+    "vtc": "vtc",
+    "smartspec": "smartspec:k_max=8",
+}
+
+
+def _spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        model="llama70b", system="vllm", rps=2.0, duration_s=4.0, seed=7, trace="steady"
+    )
+    base.update(overrides)
+    return ExperimentSpec.create(**base)
+
+
+class TestCanonicalization:
+    @pytest.mark.parametrize("legacy,parameterized", sorted(LEGACY_EQUIVALENTS.items()))
+    def test_alias_cache_key_byte_identical_to_parameterized_form(
+        self, legacy, parameterized
+    ):
+        a, b = _spec(system=legacy), _spec(system=parameterized)
+        assert a == b
+        assert a.digest() == b.digest()
+        canonical_a = json.dumps(a.to_dict(), sort_keys=True, separators=(",", ":"))
+        canonical_b = json.dumps(b.to_dict(), sort_keys=True, separators=(",", ":"))
+        assert canonical_a.encode() == canonical_b.encode()  # byte-identical
+
+    def test_distinct_parameters_fork_the_key(self):
+        assert _spec(system="vllm-spec:k=6").digest() != _spec(system="vllm-spec:k=8").digest()
+        assert _spec(system="adaserve:n_max=4").digest() != _spec(system="adaserve").digest()
+
+    def test_trace_params_are_canonical_and_keyed(self):
+        default = _spec(trace="diurnal")
+        spelled = _spec(trace="diurnal:peak_to_trough=4.0")
+        tuned = _spec(trace="diurnal:peak_to_trough=6")
+        assert default == spelled
+        assert default.workload.trace == "diurnal"
+        assert tuned.workload.trace == "diurnal:peak_to_trough=6.0"
+        assert tuned.digest() != default.digest()
+
+    def test_router_params_are_canonical_and_keyed(self):
+        default = _spec(replicas=3, router="affinity")
+        spelled = _spec(replicas=3, router="affinity:reserve=auto")
+        pinned = _spec(replicas=3, router="affinity:reserve=0.4")
+        assert default == spelled
+        assert pinned.cluster.router == "affinity:reserve=0.4"
+        assert pinned.digest() != default.digest()
+
+    def test_spec_strings_case_insensitive(self):
+        assert _spec(system="VLLM") == _spec(system="vllm")
+
+
+class TestShape:
+    def test_to_dict_is_nested_and_json_serializable(self):
+        d = _spec(replicas=2, router="p2c").to_dict()
+        assert set(d) == {"workload", "system", "cluster"}
+        assert d["system"]["name"] == "vllm"
+        assert d["workload"]["rps"] == 2.0
+        assert d["cluster"]["router"] == "p2c"
+        json.dumps(d)
+
+    def test_from_dict_round_trips(self):
+        for spec in (
+            _spec(),
+            _spec(mix={"coding": 0.7, "chatbot": 0.3}),
+            _spec(replicas=2, router="affinity:reserve=0.4", autoscale={"max_replicas": 6}),
+        ):
+            assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_flat_accessors_read_through_sections(self):
+        spec = _spec(replicas=2, router="p2c", slo_scale=1.5)
+        assert spec.model == "llama70b"
+        assert spec.system_name == "vllm"
+        assert (spec.rps, spec.duration_s, spec.seed) == (2.0, 4.0, 7)
+        assert (spec.trace, spec.slo_scale) == ("steady", 1.5)
+        assert (spec.replicas, spec.router) == (2, "p2c")
+        assert spec.max_sim_time_s == 1800.0
+        assert spec.is_cluster
+
+    def test_sections_constructible_directly(self):
+        spec = ExperimentSpec(
+            workload=WorkloadSpec(trace="steady", rps=2.0, duration_s=4.0, seed=7),
+            system=SystemSpec(name="vllm-spec-8", model="llama70b"),
+            cluster=ClusterSpec(),
+        )
+        assert spec == _spec(system="vllm-spec:k=8")
+
+    def test_with_replica_touches_only_the_workload_seed(self):
+        spec = _spec()
+        derived = spec.with_replica(2)
+        assert derived.system == spec.system and derived.cluster == spec.cluster
+        assert derived.workload.seed != spec.workload.seed
+        assert derived == spec.with_replica(2)
+
+    def test_experiment_config_is_an_alias(self):
+        assert ExperimentConfig is ExperimentSpec
+
+    def test_create_requires_the_result_determining_core(self):
+        # Forgetting the seed must be a loud TypeError, not a silent
+        # seed=0 run (the old flat create's contract).
+        with pytest.raises(TypeError):
+            ExperimentSpec.create(model="llama70b", system="vllm", rps=2.0, duration_s=4.0)
+        with pytest.raises(TypeError):
+            ExperimentSpec.create(system="vllm", rps=2.0, duration_s=4.0, seed=0)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_workload_knobs(self):
+        with pytest.raises(ValueError):
+            _spec(rps=0.0)
+        with pytest.raises(ValueError):
+            _spec(duration_s=-1.0)
+        with pytest.raises(ValueError):
+            _spec(slo_scale=0.0)
+        with pytest.raises(ValueError):
+            _spec(max_sim_time_s=0.0)
+
+    def test_rejects_non_finite_workload_knobs(self):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                _spec(rps=bad)
+            with pytest.raises(ValueError):
+                _spec(duration_s=bad)
+            with pytest.raises(ValueError):
+                _spec(slo_scale=bad)
+
+    def test_from_dict_rejects_flat_v2_shapes(self):
+        with pytest.raises(SpecError, match="workload, system, cluster"):
+            ExperimentSpec.from_dict(
+                {"model": "qwen32b", "system": "vllm", "rps": 8.0, "seed": 5}
+            )
+
+    def test_rejects_unknown_components(self):
+        with pytest.raises(ValueError):
+            _spec(system="gpt5")
+        with pytest.raises(ValueError):
+            _spec(trace="sinusoidal")
+        with pytest.raises(ValueError):
+            _spec(model="llama405b")
+
+
+class TestGrid:
+    def test_parse_grid_axis(self):
+        axis = parse_grid_axis("system.k=2,4, 6")
+        assert axis.path == "system.k" and axis.values == ("2", "4", "6")
+
+    @pytest.mark.parametrize("bad", ["", "system.k", "=2", "k=2", "system.k="])
+    def test_parse_grid_axis_malformed(self, bad):
+        with pytest.raises(SpecError):
+            parse_grid_axis(bad)
+
+    def test_system_axis_reparameterizes_canonically(self):
+        base = _spec(system="vllm-spec")
+        cells = expand_grid([base], [parse_grid_axis("system.k=2,4,8")])
+        assert [c.system.name for c in cells] == ["vllm-spec:k=2", "vllm-spec", "vllm-spec:k=8"]
+        assert len({c.digest() for c in cells}) == 3
+
+    def test_cartesian_product_of_axes(self):
+        base = _spec(system="vllm-spec")
+        cells = expand_grid(
+            [base],
+            [parse_grid_axis("system.k=2,4"), parse_grid_axis("workload.rps=1.0,2.0,3.0")],
+        )
+        assert len(cells) == 6
+        assert {(c.system.name, c.rps) for c in cells} == {
+            (name, rps)
+            for name in ("vllm-spec:k=2", "vllm-spec")
+            for rps in (1.0, 2.0, 3.0)
+        }
+
+    def test_unknown_param_names_alternatives(self):
+        with pytest.raises(UnknownParamError, match="declared parameters"):
+            apply_axis(_spec(system="vllm-spec"), "system.q", "3")
+
+    def test_unknown_section_and_field(self):
+        with pytest.raises(SpecError, match="sections"):
+            apply_axis(_spec(), "bogus.k", "3")
+        with pytest.raises(SpecError, match="workload axis"):
+            apply_axis(_spec(), "workload.color", "red")
+
+    def test_router_axis_requires_cluster_point(self):
+        with pytest.raises(SpecError, match="replicas"):
+            apply_axis(_spec(), "router.reserve", "0.4")
+        cell = apply_axis(_spec(replicas=3, router="affinity"), "router.reserve", "0.4")
+        assert cell.cluster.router == "affinity:reserve=0.4"
+
+    def test_trace_and_cluster_axes(self):
+        cell = apply_axis(_spec(trace="diurnal"), "trace.peak_to_trough", "6")
+        assert cell.workload.trace == "diurnal:peak_to_trough=6.0"
+        cell = apply_axis(_spec(), "cluster.replicas", "4")
+        assert cell.cluster.replicas == 4 and cell.is_cluster
+
+    def test_workload_axis_type_error(self):
+        with pytest.raises(SpecError, match="expects a"):
+            apply_axis(_spec(), "workload.rps", "fast")
+
+    def test_replica_axis_over_autoscaled_spec_reports_ceiling_honestly(self):
+        base = _spec(replicas=2, autoscale={})  # ceiling canonicalized to 4
+        grown = apply_axis(base, "cluster.replicas", "4")
+        assert grown.cluster.replicas == 4
+        # Growing past the baked ceiling is a real constraint violation,
+        # not an int-parse failure — the autoscaler's error surfaces.
+        with pytest.raises(ValueError, match="below"):
+            apply_axis(base, "cluster.replicas", "8")
