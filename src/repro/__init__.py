@@ -14,8 +14,12 @@ Subpackages
   metrics.
 - ``repro.baselines`` — vLLM, Sarathi-Serve, vLLM-Spec(n), vLLM+Priority,
   FastServe, VTC.
-- ``repro.workloads`` — Table 2 categories, synthetic datasets, traces.
-- ``repro.cluster`` — multi-replica fleets: routers, autoscaler.
+- ``repro.workloads`` — Table 2 categories, synthetic datasets, traces,
+  multi-turn session workloads.
+- ``repro.prefixcache`` — shared-prefix KV reuse: deterministic token
+  streams, refcounted block sharing with LRU eviction.
+- ``repro.cluster`` — multi-replica fleets: routers (including
+  prefix-affinity session stickiness), autoscaler.
 - ``repro.registry`` — typed component registries (systems, routers,
   traces, model setups) and the ``name:key=val`` spec-string grammar.
 - ``repro.analysis`` — declarative experiment specs, harness, parallel

@@ -43,7 +43,13 @@ from pathlib import Path
 #: 3: nested ExperimentSpec configs (workload/system/cluster sections)
 #: with registry-canonical component spec strings; v2 flat-config
 #: records cold-start (``repro cache-prune`` removes the stranded files).
-SCHEMA_VERSION = 3
+#: 4: prefix-cache subsystem — ``system.prefix_cache`` in configs,
+#: TTFT/prefix-reuse aggregates (``mean_ttft_s``, ``prefix_hit_requests``,
+#: ``prefill_tokens_saved``) in record metrics; v3 records cold-start.
+#: The knob is canonicalized like every section field (an explicit
+#: ``prefix_cache=False`` and the default are one key), so v4 non-session
+#: configs never fork on it.
+SCHEMA_VERSION = 4
 
 #: Default on-disk location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -190,7 +196,7 @@ class ResultCache:
         return path
 
     # ------------------------------------------------------------------
-    def prune(self) -> int:
+    def prune(self, dry_run: bool = False) -> int:
         """Delete records the current code can never serve.
 
         Keys embed the simulator :func:`code_fingerprint`, so every
@@ -198,14 +204,16 @@ class ResultCache:
         on disk).  Prune removes any record whose envelope doesn't match
         the current schema + fingerprint, plus unparsable files and
         temp files orphaned by interrupted atomic writes.
-        Returns the number of files removed.
+        Returns the number of files removed — or, with ``dry_run``, the
+        number that *would* be removed, touching nothing.
         """
         if not self.root.is_dir():
             return 0
         current = code_fingerprint()
         removed = 0
         for path in sorted(self.root.rglob("*.json.tmp.*")):
-            path.unlink(missing_ok=True)
+            if not dry_run:
+                path.unlink(missing_ok=True)
             removed += 1
         for path in sorted(self.root.rglob("*.json")):
             try:
@@ -213,7 +221,8 @@ class ResultCache:
             except OSError:
                 continue
             if record is None or record.get("code") != current:
-                path.unlink(missing_ok=True)
+                if not dry_run:
+                    path.unlink(missing_ok=True)
                 removed += 1
         return removed
 

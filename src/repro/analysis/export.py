@@ -13,7 +13,8 @@ import json
 import math
 from typing import Iterable
 
-from repro.analysis.cache import ResultCache
+from repro import __version__
+from repro.analysis.cache import SCHEMA_VERSION, ResultCache
 from repro.analysis.report import SeriesPoint
 from repro.serving.metrics import CategoryMetrics, RunMetrics
 from repro.serving.server import SimulationReport
@@ -47,6 +48,12 @@ def metrics_to_dict(metrics: RunMetrics) -> dict:
         "attained_tokens": metrics.attained_tokens,
         "span_s": metrics.span_s,
         "mean_accepted_per_verify": metrics.mean_accepted_per_verify,
+        "mean_ttft_s": (
+            None if metrics.mean_ttft_s is None else _nan_to_null(metrics.mean_ttft_s)
+        ),
+        "prefix_hit_requests": metrics.prefix_hit_requests,
+        "prefix_hit_rate": metrics.prefix_hit_rate,
+        "prefill_tokens_saved": metrics.prefill_tokens_saved,
         "per_category": {
             name: {
                 "num_requests": cm.num_requests,
@@ -91,6 +98,9 @@ def metrics_from_dict(d: dict) -> RunMetrics:
         span_s=d["span_s"],
         mean_accepted_per_verify=d["mean_accepted_per_verify"],
         per_category=per_category,
+        mean_ttft_s=d.get("mean_ttft_s"),
+        prefix_hit_requests=d.get("prefix_hit_requests", 0),
+        prefill_tokens_saved=d.get("prefill_tokens_saved", 0),
     )
 
 
@@ -125,11 +135,25 @@ def report_from_dict(d: dict) -> SimulationReport:
     )
 
 
+def _provenance() -> dict:
+    """Self-description embedded in every ``--out`` export.
+
+    Stored results identify the record layout (``schema_version``) and
+    the package that produced them (``repro_version``), so files on disk
+    remain interpretable after the simulator moves on.
+    """
+    return {"schema_version": SCHEMA_VERSION, "repro_version": __version__}
+
+
 def report_to_json(report: SimulationReport, indent: int = 2) -> str:
-    """Strict JSON text of a simulation report (no NaN/Infinity tokens)."""
-    return json.dumps(
-        report_to_dict(report), indent=indent, sort_keys=True, allow_nan=False
-    )
+    """Strict JSON text of a simulation report (no NaN/Infinity tokens).
+
+    The payload is the :func:`report_to_dict` record plus the export
+    provenance keys; :func:`report_from_dict` ignores the extras, so the
+    text round-trips.
+    """
+    payload = {**_provenance(), **report_to_dict(report)}
+    return json.dumps(payload, indent=indent, sort_keys=True, allow_nan=False)
 
 
 def points_to_csv(points: Iterable[SeriesPoint]) -> str:
@@ -147,18 +171,21 @@ def points_to_csv(points: Iterable[SeriesPoint]) -> str:
 
 
 def points_to_json(points: Iterable[SeriesPoint], indent: int = 2) -> str:
-    """JSON text of sweep points."""
-    payload = [
-        {
-            "x": p.x,
-            "system": p.system,
-            "attainment": p.attainment,
-            "goodput": p.goodput,
-            "violation_rate": p.violation_rate,
-            "mean_accepted": p.mean_accepted,
-        }
-        for p in sorted(points, key=lambda p: (p.x, p.system))
-    ]
+    """JSON text of sweep points (self-describing envelope)."""
+    payload = {
+        **_provenance(),
+        "points": [
+            {
+                "x": p.x,
+                "system": p.system,
+                "attainment": p.attainment,
+                "goodput": p.goodput,
+                "violation_rate": p.violation_rate,
+                "mean_accepted": p.mean_accepted,
+            }
+            for p in sorted(points, key=lambda p: (p.x, p.system))
+        ],
+    }
     return json.dumps(payload, indent=indent, allow_nan=False)
 
 
@@ -201,7 +228,13 @@ def points_from_cache(cache: ResultCache, configs: Iterable) -> list[SeriesPoint
 
 
 def points_from_json(text: str) -> list[SeriesPoint]:
-    """Inverse of :func:`points_to_json`."""
+    """Inverse of :func:`points_to_json`.
+
+    Accepts both the current self-describing envelope and the historical
+    bare-list layout.
+    """
+    payload = json.loads(text)
+    rows = payload["points"] if isinstance(payload, dict) else payload
     return [
         SeriesPoint(
             x=row["x"],
@@ -211,5 +244,5 @@ def points_from_json(text: str) -> list[SeriesPoint]:
             violation_rate=row["violation_rate"],
             mean_accepted=row["mean_accepted"],
         )
-        for row in json.loads(text)
+        for row in rows
     ]

@@ -32,6 +32,7 @@ from repro.core import scheduler as _core_scheduler  # noqa: F401 - registers ad
 from repro.hardware.roofline import RooflineModel
 from repro.hardware.spec import DEPLOYMENT_PRESETS, DeploymentSpec
 from repro.model.pair import ModelPair
+from repro.prefixcache import PrefixCacheManager
 from repro.registry import MODELS, SYSTEMS
 from repro.serving.engine import SimulatedEngine
 from repro.serving.kv_cache import KVCacheManager
@@ -69,13 +70,19 @@ class Setup:
     target_deployment: DeploymentSpec
     draft_deployment: DeploymentSpec
     seed: int = 0
+    #: Share prefix KV blocks across requests (see ``repro.prefixcache``).
+    prefix_cache: bool = False
 
     def build_engine(self) -> SimulatedEngine:
         """Fresh engine: model pair, rooflines, KV manager."""
         pair = ModelPair.from_preset(self.pair_preset, seed=self.seed)
         target_rl = RooflineModel(self.target_deployment)
         draft_rl = RooflineModel(self.draft_deployment)
-        kv = KVCacheManager(self.target_deployment.kv_capacity_tokens)
+        capacity = self.target_deployment.kv_capacity_tokens
+        if self.prefix_cache:
+            kv: KVCacheManager = PrefixCacheManager(capacity)
+        else:
+            kv = KVCacheManager(capacity)
         return SimulatedEngine(pair, target_rl, draft_rl, kv, seed=self.seed)
 
     @property
@@ -91,13 +98,18 @@ def _register_model_setups() -> None:
         draft = DEPLOYMENT_PRESETS[draft_name]
 
         def factory(
-            seed: int = 0, _pair=pair_preset, _target=target, _draft=draft
+            seed: int = 0,
+            prefix_cache: bool = False,
+            _pair=pair_preset,
+            _target=target,
+            _draft=draft,
         ) -> Setup:
             return Setup(
                 pair_preset=_pair,
                 target_deployment=_target,
                 draft_deployment=_draft,
                 seed=seed,
+                prefix_cache=prefix_cache,
             )
 
         MODELS.register(
@@ -108,9 +120,9 @@ def _register_model_setups() -> None:
 _register_model_setups()
 
 
-def build_setup(model: str, seed: int = 0) -> Setup:
+def build_setup(model: str, seed: int = 0, prefix_cache: bool = False) -> Setup:
     """Setup for a registered model configuration ('llama70b' or 'qwen32b')."""
-    return MODELS.create(model, seed=seed)
+    return MODELS.create(model, seed=seed, prefix_cache=prefix_cache)
 
 
 def make_scheduler(system: str, engine: SimulatedEngine, **overrides) -> Scheduler:
@@ -136,6 +148,9 @@ def _clone_requests(requests: list[Request]) -> list[Request]:
             tpot_slo=r.tpot_slo,
             predictability=r.predictability,
             priority=r.priority,
+            session_id=r.session_id,
+            turn_index=r.turn_index,
+            prompt_segments=r.prompt_segments,
         )
         for r in requests
     ]

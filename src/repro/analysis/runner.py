@@ -60,7 +60,7 @@ __all__ = [
 
 #: Legacy flat trace names (the authoritative enumeration, including
 #: parameter schemas, is ``repro.registry.TRACES``).
-TRACE_KINDS = ("bursty", "steady", "phased", "diurnal")
+TRACE_KINDS = ("bursty", "steady", "phased", "diurnal", "sessions", "agentic")
 
 #: Backwards-compatible alias: the flat config class grew sections.
 ExperimentConfig = ExperimentSpec
@@ -88,7 +88,11 @@ def execute_point(config: ExperimentSpec) -> dict:
     their record carries the fleet-level summary, so the cache and the
     sweep machinery handle them exactly like solo points.
     """
-    setup = build_setup(config.system.model, seed=config.workload.seed)
+    setup = build_setup(
+        config.system.model,
+        seed=config.workload.seed,
+        prefix_cache=config.system.prefix_cache,
+    )
     requests = build_workload(setup, config)
     if config.is_cluster:
         fleet = run_cluster(

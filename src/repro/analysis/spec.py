@@ -97,6 +97,8 @@ class SystemSpec:
     name: str = "adaserve"
     model: str = "llama70b"
     max_sim_time_s: float = 1800.0
+    #: Share prefix KV blocks across requests (see :mod:`repro.prefixcache`).
+    prefix_cache: bool = False
 
     def __post_init__(self) -> None:
         _set(
@@ -104,6 +106,7 @@ class SystemSpec:
             name=SYSTEMS.canonical(self.name),
             model=MODELS.canonical(self.model),
             max_sim_time_s=float(self.max_sim_time_s),
+            prefix_cache=bool(self.prefix_cache),
         )
         if not math.isfinite(self.max_sim_time_s) or self.max_sim_time_s <= 0:
             raise SpecError(
@@ -115,6 +118,7 @@ class SystemSpec:
             "name": self.name,
             "model": self.model,
             "max_sim_time_s": self.max_sim_time_s,
+            "prefix_cache": self.prefix_cache,
         }
 
 
@@ -185,6 +189,7 @@ class ExperimentSpec:
         slo_scale: float = 1.0,
         mix: Mapping[str, float] | None = None,
         max_sim_time_s: float = 1800.0,
+        prefix_cache: bool = False,
         replicas: int = 1,
         router: str = "round-robin",
         autoscale: Mapping[str, float] | None = None,
@@ -208,7 +213,12 @@ class ExperimentSpec:
                 slo_scale=slo_scale,
                 mix=mix,
             ),
-            system=SystemSpec(name=system, model=model, max_sim_time_s=max_sim_time_s),
+            system=SystemSpec(
+                name=system,
+                model=model,
+                max_sim_time_s=max_sim_time_s,
+                prefix_cache=prefix_cache,
+            ),
             cluster=ClusterSpec(
                 replicas=replicas,
                 router=router,
@@ -290,6 +300,10 @@ class ExperimentSpec:
         return self.system.max_sim_time_s
 
     @property
+    def prefix_cache(self) -> bool:
+        return self.system.prefix_cache
+
+    @property
     def replicas(self) -> int:
         return self.cluster.replicas
 
@@ -317,6 +331,16 @@ class ExperimentSpec:
         )
 
 
+def _parse_bool(path: str, value) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str) and value.lower() in ("true", "1"):
+        return True
+    if isinstance(value, str) and value.lower() in ("false", "0"):
+        return False
+    raise SpecError(f"{path} expects true/false, got {value!r}")
+
+
 def _canonical_mix(mix) -> tuple[tuple[str, float], ...] | None:
     if not mix:
         return None
@@ -335,6 +359,14 @@ _WORKLOAD_AXES = {
     "slo_scale": ("slo_scale", float),
     "seed": ("seed", int),
 }
+
+
+#: ``system.<key>`` axes that set a :class:`SystemSpec` dataclass field
+#: rather than a scheduler parameter (anything else under ``system.`` is
+#: re-resolved through the SYSTEMS registry).  Shared with the CLI's
+#: sweep-label logic, which must keep a label for exactly these keys
+#: (they never show up in the scheduler's canonical spec string).
+SYSTEM_FIELD_AXES = ("prefix_cache",)
 
 
 @dataclass(frozen=True)
@@ -372,6 +404,12 @@ def apply_axis(spec: ExperimentSpec, path: str, value: str) -> ExperimentSpec:
     """
     section, _, key = path.partition(".")
     if section == "system":
+        if key in SYSTEM_FIELD_AXES:
+            # An engine-construction knob on the section itself, not a
+            # scheduler parameter (currently only ``prefix_cache``).
+            return replace(
+                spec, system=replace(spec.system, **{key: _parse_bool(path, value)})
+            )
         return replace(
             spec,
             system=replace(spec.system, name=SYSTEMS.with_params(spec.system.name, **{key: value})),

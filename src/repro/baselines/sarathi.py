@@ -75,10 +75,12 @@ class SarathiScheduler(Scheduler):
 
     def _allocate_head_prefix(self, req, chunk: int) -> bool:
         """Reserve KV for the next chunk of the head-of-queue prompt."""
+        fresh_hit = self._lock_prefix(req)
         try:
             self.engine.kv.ensure(
                 req.rid, req.prefilled + min(chunk, req.remaining_prompt) + self.engine.kv.block_size
             )
         except OutOfKVCache:
+            self._unlock_prefix(req, fresh_hit)
             return False
         return True

@@ -49,7 +49,7 @@ from repro.analysis.export import points_to_json, report_to_json
 from repro.analysis.harness import build_setup
 from repro.analysis.report import format_table, point_from_metrics, series_table
 from repro.analysis.runner import ExperimentConfig, SweepRunner
-from repro.analysis.spec import apply_axis, parse_grid_axis
+from repro.analysis.spec import SYSTEM_FIELD_AXES, apply_axis, parse_grid_axis
 from repro.hardware.profiler import HardwareProfiler
 from repro.registry import MODELS, ROUTERS, SYSTEMS, TRACES, SpecError
 from repro.workloads.categories import urgent_mix
@@ -113,6 +113,12 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
         help="category-1 share in [0, 1] (default: the paper's 60/20/20 mix)",
     )
     p.add_argument("--slo-scale", type=_positive_float, default=1.0)
+    p.add_argument(
+        "--prefix-cache",
+        action="store_true",
+        help="share prefix KV blocks across requests (pairs with the "
+        "sessions/agentic traces; see `repro list traces`)",
+    )
 
 
 def _positive_int(text: str) -> int:
@@ -164,6 +170,7 @@ def _config_for(
         slo_scale=args.slo_scale,
         mix=mix,
         max_sim_time_s=args.max_sim_time,
+        prefix_cache=args.prefix_cache,
         replicas=replicas,
         router=router,
         autoscale=autoscale,
@@ -185,6 +192,11 @@ def _print_report(report, model: str) -> None:
         f"attainment {m.attainment * 100:.1f}%   goodput {m.goodput:.0f} tok/s   "
         f"throughput {m.throughput:.0f} tok/s   mean accepted/verify {m.mean_accepted_per_verify:.2f}"
     )
+    if m.prefix_hit_requests:
+        print(
+            f"prefix cache: hit rate {m.prefix_hit_rate * 100:.1f}%   "
+            f"prefill tokens saved {m.prefill_tokens_saved}"
+        )
     rows = [
         [
             cat,
@@ -292,11 +304,16 @@ def _cmd_sweep(args) -> int:
         cells = [(config, "") for config in base]
         for axis in axes:
             section, key = axis.path.split(".", 1)
+            # Scheduler parameters show up in the canonical system spec
+            # and are labeled from it below; anything that does not
+            # (trace/workload axes, SystemSpec field knobs) must keep its
+            # grid cell in the label or distinct cells would collapse.
+            in_system_spec = section == "system" and key not in SYSTEM_FIELD_AXES
             cells = [
                 (
                     apply_axis(config, axis.path, value),
                     label
-                    if section == "system"
+                    if in_system_spec
                     else (f"{label},{key}={value}" if label else f"{key}={value}"),
                 )
                 for config, label in cells
@@ -366,8 +383,11 @@ def _cmd_list(args) -> int:
 
 def _cmd_cache_prune(args) -> int:
     cache = _resolve_cache(args.cache_dir)
-    removed = cache.prune()
-    print(f"removed {removed} stale record(s) from {cache.root}")
+    removed = cache.prune(dry_run=args.dry_run)
+    if args.dry_run:
+        print(f"would remove {removed} stale record(s) from {cache.root}")
+    else:
+        print(f"removed {removed} stale record(s) from {cache.root}")
     return 0
 
 
@@ -496,6 +516,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="result cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    p_prune.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be deleted without removing anything",
     )
     p_prune.set_defaults(func=_cmd_cache_prune)
 

@@ -14,6 +14,7 @@ from repro.cluster.router import (
     AffinityRouter,
     LeastLoadedRouter,
     PowerOfTwoRouter,
+    PrefixAffinityRouter,
     RoundRobinRouter,
     Router,
     make_router,
@@ -28,6 +29,7 @@ __all__ = [
     "FleetSimulator",
     "LeastLoadedRouter",
     "PowerOfTwoRouter",
+    "PrefixAffinityRouter",
     "Replica",
     "RoundRobinRouter",
     "Router",

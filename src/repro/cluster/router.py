@@ -21,6 +21,11 @@ Policies
   route least-loaded internally.  The reservation is sized adaptively to
   the urgent share of routed token load (or pinned via
   ``reserved_fraction``), so isolation does not starve either class.
+- ``prefix-affinity``: session stickiness — follow-up turns of a
+  conversation go to the replica that already holds the session's prefix
+  KV (falling back to least-loaded when it is not routable), making the
+  fleet-wide prefix hit rate a routing objective.  Requests without a
+  session route least-loaded.
 """
 
 from __future__ import annotations
@@ -37,7 +42,7 @@ from repro.serving.request import Request
 #: Router registry keys, in the order the CLI advertises them (kept as a
 #: static tuple for backwards compatibility; :data:`repro.registry.ROUTERS`
 #: is the authoritative enumeration).
-ROUTER_NAMES = ("round-robin", "least-loaded", "p2c", "affinity")
+ROUTER_NAMES = ("round-robin", "least-loaded", "p2c", "affinity", "prefix-affinity")
 
 
 
@@ -174,6 +179,41 @@ class AffinityRouter(Router):
         k = self._num_reserved(n)
         pool = replicas[:k] if urgent else replicas[k:]
         return _least_loaded(pool)
+
+
+@ROUTERS.register(
+    "prefix-affinity",
+    summary="pin a session's turns to the replica holding its prefix KV",
+)
+class PrefixAffinityRouter(Router):
+    """Route follow-up turns to the replica that cached the session's prefix.
+
+    The first turn of a session (and every sessionless request) routes
+    least-loaded; the chosen replica becomes the session's *home*, and
+    later turns return there so the conversation's KV is reused instead
+    of re-prefilled.  A home that stops being routable (draining,
+    retired, still warming) falls back to least-loaded and the session
+    is re-homed — its prefix must be recomputed wherever it lands, which
+    is exactly the migration cost real sticky routing pays.
+    """
+
+    name = "prefix-affinity"
+
+    def __init__(self) -> None:
+        self._home: dict[int, int] = {}  # session id -> replica index
+
+    def route(self, req: Request, replicas: Sequence[Replica]) -> Replica:
+        sid = req.session_id
+        if sid is not None:
+            home = self._home.get(sid)
+            if home is not None:
+                for replica in replicas:
+                    if replica.index == home:
+                        return replica
+        choice = _least_loaded(replicas)
+        if sid is not None:
+            self._home[sid] = choice.index
+        return choice
 
 
 def make_router(name: str, seed: int = 0, **kwargs) -> Router:

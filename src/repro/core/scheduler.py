@@ -145,12 +145,14 @@ class AdaServeScheduler(Scheduler):
         if not self.waiting or self._admit_capacity() <= 0:
             return []
         head = self.waiting[0]
+        fresh_hit = self._lock_prefix(head)
         chunk = min(self.prefill_chunk, head.remaining_prompt)
         try:
             self.engine.kv.ensure(
                 head.rid, head.prefilled + chunk + self.engine.kv.block_size
             )
         except OutOfKVCache:
+            self._unlock_prefix(head, fresh_hit)
             return []
         return [(head, chunk)]
 

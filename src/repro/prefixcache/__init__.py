@@ -1,0 +1,29 @@
+"""Prefix-cache subsystem: shared-prefix KV reuse across requests.
+
+Multi-turn sessions, agent loops, and RAG-over-a-shared-system-prompt
+traffic repeat long prompt prefixes; serving them from cached KV instead
+of recomputing prefill is the mechanism behind vLLM's automatic prefix
+caching and SGLang-style radix reuse.  This package provides
+
+- :mod:`repro.prefixcache.tokens` — deterministic token identity: prompt
+  streams, segment composition, hash-chained block keys;
+- :mod:`repro.prefixcache.manager` — :class:`PrefixCacheManager`, the
+  refcounted, LRU-evicted shared-block extension of the KV manager.
+
+Enable it per experiment with ``ExperimentSpec.create(...,
+prefix_cache=True)`` or ``repro run/sweep/cluster --prefix-cache``; pair
+it with the ``sessions``/``agentic`` traces
+(:mod:`repro.workloads.sessions`) and the ``prefix-affinity`` router
+(:mod:`repro.cluster.router`) for the full reuse scenario.
+"""
+
+from repro.prefixcache.manager import PrefixCacheManager, PrefixStats
+from repro.prefixcache.tokens import block_keys, request_segments, token_ids
+
+__all__ = [
+    "PrefixCacheManager",
+    "PrefixStats",
+    "block_keys",
+    "request_segments",
+    "token_ids",
+]

@@ -1,0 +1,114 @@
+"""Deterministic token identity for prefix matching.
+
+The simulator never materializes text, but prefix caching needs *content
+identity*: two prompts share cached KV exactly when they share leading
+tokens.  Every request therefore describes its prompt as a sequence of
+``(namespace, length)`` **segments** over deterministic token streams
+(:attr:`~repro.serving.request.Request.prompt_segments`):
+
+- a shared system prompt is one namespace common to every session of a
+  workload, so even unrelated sessions reuse its KV;
+- a session's conversation history is one namespace per session whose
+  stream covers user turns *and* model answers — turn ``k+1``'s history
+  is a strict prefix extension of turn ``k``'s prompt + output, which is
+  what makes multi-turn reuse work;
+- a request without segments owns a private per-rid stream (no sharing).
+
+Token ``j`` of a segment is ``mix(namespace, j)``; generated tokens
+extend the final segment (the model's answer continues the conversation
+stream).  Block keys chain block content hashes, so a block's key
+commits to its entire prefix — matching is a flat dict walk, exactly the
+hash-chained block table of vLLM's automatic prefix caching.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro._rng import hash_seed, mix
+
+#: Namespace tag for requests without explicit segments (one-shot prompts).
+_COLD_TAG = 0x434F4C44  # "COLD"
+
+#: Root of every block-key hash chain.
+_CHAIN_ROOT = 0x50464358  # "PFCX"
+
+
+def request_segments(req) -> tuple[tuple[int, int], ...]:
+    """The request's prompt segments (private per-rid stream if unset)."""
+    if req.prompt_segments:
+        return req.prompt_segments
+    return ((hash_seed(_COLD_TAG, req.rid), req.prompt_len),)
+
+
+def token_ids(req, n_tokens: int) -> list[int]:
+    """The first ``n_tokens`` token ids of the request's prompt + output.
+
+    Positions beyond the prompt (generated tokens) continue the final
+    segment's stream, so a finished turn's full context is itself a
+    well-defined stream prefix for the next turn to match.
+    """
+    if n_tokens < 0:
+        raise ValueError("n_tokens must be non-negative")
+    segments = request_segments(req)
+    out: list[int] = []
+    for i, (namespace, length) in enumerate(segments):
+        last = i == len(segments) - 1
+        span = n_tokens - len(out) if last else min(length, n_tokens - len(out))
+        for j in range(span):
+            out.append(mix(namespace, j))
+        if len(out) >= n_tokens:
+            break
+    return out
+
+
+def block_keys(ids: Sequence[int], block_size: int) -> list[int]:
+    """Hash-chained keys of the *full* blocks covering ``ids``.
+
+    Key ``b`` digests tokens ``[0, (b+1) * block_size)``, so equal keys
+    imply equal full prefixes; the trailing partial block has no key
+    (only whole blocks are shareable).
+    """
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    keys: list[int] = []
+    h = _CHAIN_ROOT
+    for i, token in enumerate(ids):
+        h = mix(h, token)
+        if (i + 1) % block_size == 0:
+            keys.append(h)
+    return keys
+
+
+def request_block_keys(req, n_tokens: int, block_size: int) -> list[int]:
+    """Block keys for the request's first ``n_tokens``, chained incrementally.
+
+    A request's keys are queried up to three times over its lifetime
+    (admission match, prefill-complete commit, finish commit) at
+    monotonically growing lengths; the hash chain is therefore resumed
+    from the request's cached state instead of re-mixed from position 0
+    each call.  The cache lives on the request instance, which is private
+    to one simulation run.
+    """
+    state = getattr(req, "_prefix_chain", None)
+    if state is None or state[0] != block_size:
+        state = (block_size, 0, _CHAIN_ROOT, [])
+    _, consumed, h, keys = state
+    if n_tokens > consumed:
+        segments = request_segments(req)
+        for pos in range(consumed, n_tokens):
+            h = mix(h, _token_at(segments, pos))
+            if (pos + 1) % block_size == 0:
+                keys.append(h)
+        req._prefix_chain = (block_size, n_tokens, h, keys)
+    return keys[: n_tokens // block_size]
+
+
+def _token_at(segments: Sequence[tuple[int, int]], pos: int) -> int:
+    """Token id at global stream position ``pos`` (final segment extends)."""
+    offset = 0
+    for i, (namespace, length) in enumerate(segments):
+        if pos < offset + length or i == len(segments) - 1:
+            return mix(namespace, pos - offset)
+        offset += length
+    raise IndexError(pos)  # unreachable: the final segment is unbounded

@@ -516,7 +516,8 @@ _COMPONENT_MODULES = (
     "repro.baselines",  # seven baseline schedulers
     "repro.core.scheduler",  # adaserve
     "repro.cluster.router",  # routing policies
-    "repro.workloads.generator",  # trace kinds
+    "repro.workloads.generator",  # single-shot trace kinds
+    "repro.workloads.sessions",  # multi-turn session trace kinds
     "repro.analysis.harness",  # model setups
 )
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, fields
 
 from repro._rng import hash_seed
 from repro.hardware.cuda_graph import CudaGraphModel
+from repro.prefixcache.tokens import request_block_keys
 from repro.hardware.roofline import RooflineModel
 from repro.model.pair import ModelPair
 from repro.serving.kv_cache import KVCacheManager
@@ -129,6 +130,22 @@ class SimulatedEngine:
         """Model context hash of a request's full prompt."""
         return hash_seed(self.seed, req.rid, req.prompt_len)
 
+    def _commit_prefix(self, req: Request, tokens: int) -> None:
+        """Publish the request's first ``tokens`` as shared prefix blocks.
+
+        No-op unless the KV manager shares prefixes *and* the request
+        rides shareable token streams (segmentless requests own a
+        private stream nothing can ever match — caching their blocks
+        would only grow the table and churn eviction).  Called when
+        prefill completes (prompt blocks become reusable as soon as they
+        are computed) and again at finish (the generated answer extends
+        the cached conversation for a session's next turn).
+        """
+        if self.kv.prefix_caching and req.prompt_segments:
+            self.kv.commit_keys(
+                req.rid, request_block_keys(req, tokens, self.kv.block_size)
+            )
+
     # ------------------------------------------------------------------
     # Prefill
     # ------------------------------------------------------------------
@@ -153,6 +170,7 @@ class SimulatedEngine:
             req.advance_prefill(tokens)
             if req.remaining_prompt == 0:
                 req.begin_decode(self.root_ctx(req), end)
+                self._commit_prefix(req, req.prompt_len)
         self.phase_times.prefill_s += latency
         self.iterations += 1
         return latency
@@ -211,6 +229,7 @@ class SimulatedEngine:
             req.advance_prefill(tokens)
             if req.remaining_prompt == 0:
                 req.begin_decode(self.root_ctx(req), end)
+                self._commit_prefix(req, req.prompt_len)
         total = decode_tokens + chunk_tokens
         self.phase_times.decode_s += latency * (decode_tokens / total)
         self.phase_times.prefill_s += latency * (chunk_tokens / total)
@@ -275,9 +294,15 @@ class SimulatedEngine:
     # Lifecycle helpers
     # ------------------------------------------------------------------
     def finish(self, req: Request) -> None:
-        """Release a finished request's KV."""
+        """Release a finished request's KV.
+
+        Under prefix caching, the full context (prompt + generated
+        answer) is committed to the shared table first, so a session's
+        next turn can match everything this turn computed.
+        """
         if req.state != RequestState.FINISHED:
             raise ValueError(f"request {req.rid} not finished")
+        self._commit_prefix(req, req.prompt_len + req.n_generated)
         self.kv.free(req.rid)
 
     def preempt(self, req: Request, drop_kv: bool) -> None:

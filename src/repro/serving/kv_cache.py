@@ -48,6 +48,11 @@ class KVCacheManager:
         Tokens per block.
     """
 
+    #: Whether this manager shares prefix blocks across requests; engine
+    #: and scheduler prefix hooks are no-ops when False.  The sharing
+    #: implementation lives in :class:`repro.prefixcache.PrefixCacheManager`.
+    prefix_caching = False
+
     def __init__(self, capacity_tokens: int, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
         if capacity_tokens < block_size:
             raise ValueError("capacity smaller than one block")

@@ -46,6 +46,15 @@ class Request:
     tpot_slo: float
     predictability: float | None = None
     priority: int = 0  # lower value = more urgent (used by priority baselines)
+    # -- prefix identity (see repro.prefixcache) --
+    #: Conversation this request belongs to (None for one-shot requests).
+    session_id: int | None = None
+    #: Zero-based turn number within the session.
+    turn_index: int = 0
+    #: Token-stream composition of the prompt as (namespace, length)
+    #: segments; generated tokens extend the final segment.  ``None``
+    #: means the whole prompt is one stream private to this request.
+    prompt_segments: tuple[tuple[int, int], ...] | None = None
 
     # -- runtime state (managed via helpers) --
     state: RequestState = RequestState.QUEUED
@@ -57,6 +66,9 @@ class Request:
     last_token_time: float | None = None
     finish_time: float | None = None
     preempt_count: int = 0
+    #: Prompt tokens served from a shared prefix cache instead of being
+    #: prefilled (cumulative over admissions; see repro.prefixcache).
+    cached_prompt_tokens: int = 0
     # Speculation accounting (for Figure 12).
     verify_steps: int = 0
     accepted_draft_tokens: int = 0
@@ -91,6 +103,44 @@ class Request:
         self.state = (
             RequestState.PREFILLING if self.prefilled < self.prompt_len else self.state
         )
+
+    def note_prefix_hit(self, tokens: int) -> None:
+        """Account ``tokens`` of prompt served from cached prefix KV.
+
+        The cached region counts as already prefilled — the engine never
+        recomputes it — so TTFT and prefill batch budgets shrink by
+        exactly the hit length.  ``cached_prompt_tokens`` accumulates
+        across prefill passes: a request preempted with its KV dropped
+        re-matches on re-admission, and each pass's hit is prefill
+        compute that genuinely never ran.
+        """
+        if self.prefilled != 0:
+            raise ValueError(f"request {self.rid}: prefix hit after prefill started")
+        if not 0 < tokens < self.prompt_len:
+            raise ValueError(
+                f"request {self.rid}: prefix hit {tokens} outside (0, {self.prompt_len})"
+            )
+        self.cached_prompt_tokens += tokens
+        self.advance_prefill(tokens)
+
+    def rollback_prefix_hit(self, tokens: int) -> None:
+        """Undo :meth:`note_prefix_hit` for a hit that went unused.
+
+        Only valid while the hit is the request's sole prefill progress
+        (it was never scheduled onto the engine); the request returns to
+        the plain queued state and may re-match later.
+        """
+        if self.prefilled != tokens or self.state not in (
+            RequestState.QUEUED,
+            RequestState.PREFILLING,
+        ):
+            raise ValueError(
+                f"request {self.rid}: cannot roll back prefix hit of {tokens} "
+                f"(prefilled={self.prefilled}, state={self.state.value})"
+            )
+        self.cached_prompt_tokens -= tokens
+        self.prefilled = 0
+        self.state = RequestState.QUEUED
 
     def begin_decode(self, ctx: int, now: float) -> None:
         """Mark prefill complete and start the decode phase."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 import abc
 from collections import deque
 
+from repro.prefixcache.tokens import request_block_keys
 from repro.serving.engine import SimulatedEngine
 from repro.serving.kv_cache import OutOfKVCache
 from repro.serving.request import Request, RequestState
@@ -60,6 +61,51 @@ class Scheduler(abc.ABC):
     def admit(self, req: Request) -> None:
         """A request arrived; queue it."""
         self.waiting.append(req)
+
+    def _lock_prefix(self, req: Request) -> int:
+        """Match the request's prompt against cached prefix blocks.
+
+        With a prefix-sharing KV manager, the hit region is referenced
+        (pinned against eviction) and counts as already prefilled, so
+        only the uncached suffix is ever charged to prefill iterations.
+        At least one prompt token always remains to prefill — the
+        iteration that installs the request's context.
+
+        Called at prefill-batch entry, never at admission: references
+        pin blocks against eviction, and pinning chains for a whole
+        waiting queue could make allocations fail that would succeed
+        without the cache.  A request that then fails to enter the batch
+        is rolled back via :meth:`_unlock_prefix`; one preempted with
+        its KV dropped (references released, ``prefilled`` reset)
+        re-matches here before recomputing — possibly against the very
+        blocks it committed earlier.  Requests without prompt segments
+        own a private token stream nothing can match; they skip the
+        cache entirely.
+
+        Returns the freshly hit token count (0 when nothing matched or
+        the request was not eligible).
+        """
+        kv = self.engine.kv
+        if not kv.prefix_caching or not req.prompt_segments or req.prefilled != 0:
+            return 0
+        keys = request_block_keys(req, req.prompt_len, kv.block_size)
+        cached = min(kv.lock_keys(req.rid, keys), req.prompt_len - 1)
+        if cached > 0:
+            req.note_prefix_hit(cached)
+        return cached
+
+    def _unlock_prefix(self, req: Request, tokens: int) -> None:
+        """Roll back a fresh :meth:`_lock_prefix` hit that went unused.
+
+        Releases the request's shared references and reverts its
+        prefilled/saved accounting, so a request left waiting (batch
+        full, KV exhausted) pins nothing while it queues.  It simply
+        re-matches on its next batch-entry attempt.
+        """
+        if tokens <= 0:
+            return
+        self.engine.kv.release_prefix(req.rid)
+        req.rollback_prefix_hit(tokens)
 
     def has_work(self) -> bool:
         """Whether an iteration can make progress.
@@ -115,9 +161,12 @@ class Scheduler(abc.ABC):
         slots = self._admit_capacity()
         while self.waiting and slots > 0:
             req = self.waiting[0]
+            fresh_hit = self._lock_prefix(req)
             if batch and req.remaining_prompt > budget:
+                self._unlock_prefix(req, fresh_hit)
                 break
             if not self._allocate_or_requeue(req):
+                self._unlock_prefix(req, fresh_hit)
                 break
             self.waiting.popleft()
             batch.append((req, req.remaining_prompt))

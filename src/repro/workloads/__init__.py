@@ -12,6 +12,7 @@ from repro.workloads.categories import (
 )
 from repro.workloads.datasets import DATASETS, LengthDistribution, SyntheticDataset
 from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.sessions import SessionGenerator
 from repro.workloads.trace import (
     bursty_trace,
     diurnal_trace,
@@ -29,6 +30,7 @@ __all__ = [
     "SUMMARIZATION",
     "Category",
     "LengthDistribution",
+    "SessionGenerator",
     "SyntheticDataset",
     "WorkloadGenerator",
     "bursty_trace",

@@ -6,6 +6,8 @@ import json
 
 import pytest
 
+from repro import __version__ as repro_version
+from repro.analysis.cache import SCHEMA_VERSION
 from repro.analysis.export import (
     metrics_from_dict,
     metrics_to_dict,
@@ -206,6 +208,9 @@ class TestCLIOut:
         payload = json.loads(out_file.read_text())
         assert payload["scheduler"] == "vLLM"
         assert payload["metrics"]["num_requests"] > 0
+        # Exports are self-describing: schema + package version embedded.
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["repro_version"] == repro_version
         assert "NaN" not in out_file.read_text()
 
     def test_sweep_out_writes_points_json(self, capsys, tmp_path):
@@ -213,7 +218,10 @@ class TestCLIOut:
         argv = ["sweep", "--systems", "vllm", "--rps", "1.0", "2.0", "--duration", "4",
                 "--trace", "steady", "--no-cache", "--out", str(out_file)]
         assert main(argv) == 0
-        points = json.loads(out_file.read_text())
+        payload = json.loads(out_file.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["repro_version"] == repro_version
+        points = payload["points"]
         assert sorted(p["x"] for p in points) == [1.0, 2.0]
         assert all(p["system"] == "vLLM" for p in points)
 
@@ -269,6 +277,10 @@ class TestCLICache:
         record = json.loads(path.read_text())
         record["code"] = "an-older-simulator"
         path.write_text(json.dumps(record))
+        # Dry run reports the stranded record without touching it.
+        assert main(["cache-prune", "--dry-run", "--cache-dir", str(tmp_path)]) == 0
+        assert "would remove 1 stale record(s)" in capsys.readouterr().out
+        assert path.exists()
         assert main(["cache-prune", "--cache-dir", str(tmp_path)]) == 0
         assert "removed 1 stale record(s)" in capsys.readouterr().out
         assert not path.exists()

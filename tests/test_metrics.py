@@ -82,6 +82,67 @@ class TestComputeMetrics:
         assert m.mean_accepted_per_verify == 0.0
 
 
+class TestEmptyCategories:
+    """Categories with zero completed requests degrade to NaN/0, never raise."""
+
+    def test_category_with_no_finished_requests(self):
+        import math
+
+        ok = finished_request(0, category="coding")
+        pending = make_request(rid=1, category="chatbot")  # never finishes
+        m = compute_metrics([ok, pending])
+        cm = m.per_category["chatbot"]
+        assert cm.num_requests == 1
+        assert cm.num_attained == 0
+        assert cm.attainment == 0.0
+        for stat in (
+            cm.mean_tpot_s, cm.p50_tpot_s, cm.p99_tpot_s,
+            cm.mean_ttft_s, cm.p50_ttft_s, cm.p99_ttft_s,
+        ):
+            assert math.isnan(stat)
+
+    def test_no_finished_requests_at_all(self):
+        m = compute_metrics([make_request(rid=i) for i in range(3)])
+        assert m.num_finished == 0
+        assert m.attainment == 0.0
+        assert m.goodput == 0.0
+        # None, not NaN: the aggregate stays == across identical runs
+        # (per-category stats keep their historical NaN sentinels, which
+        # compare unequal by design — see repro.analysis.export).
+        assert m.mean_ttft_s is None
+        again = compute_metrics([make_request(rid=i) for i in range(3)])
+        assert m.mean_ttft_s == again.mean_ttft_s
+        assert (m.num_requests, m.prefix_hit_requests, m.prefill_tokens_saved) == (
+            again.num_requests, again.prefix_hit_requests, again.prefill_tokens_saved
+        )
+
+    def test_empty_category_serializes_to_strict_json(self):
+        from repro.analysis.export import metrics_from_dict, metrics_to_dict
+        import json
+        import math
+
+        m = compute_metrics([finished_request(0), make_request(rid=1, category="chatbot")])
+        text = json.dumps(metrics_to_dict(m), allow_nan=False)  # no NaN tokens
+        back = metrics_from_dict(json.loads(text))
+        assert math.isnan(back.per_category["chatbot"].mean_tpot_s)
+        assert back.num_requests == m.num_requests
+
+    def test_prefix_fields_aggregate_from_requests(self):
+        a = finished_request(0)
+        a.cached_prompt_tokens = 96
+        b = finished_request(1)
+        m = compute_metrics([a, b])
+        assert m.prefix_hit_requests == 1
+        assert m.prefill_tokens_saved == 96
+        assert m.prefix_hit_rate == 0.5
+        assert m.mean_ttft_s == pytest.approx((a.ttft + b.ttft) / 2)
+
+    def test_empty_run_prefix_defaults(self):
+        m = compute_metrics([])
+        assert m.prefix_hit_rate == 0.0
+        assert m.prefill_tokens_saved == 0
+
+
 class TestViolationReduction:
     def test_ratio(self):
         base = compute_metrics(
