@@ -48,6 +48,18 @@ def hash_seed(*parts: int) -> int:
     return h
 
 
+def salted(salt: int) -> int:
+    """Precompute the XOR mask ``(salt * _COMBINE) & MASK64`` for a salt.
+
+    Hot loops (see :mod:`repro.model.stochastic_lm`) draw many uniforms
+    per context with a fixed salt; since every context hash fits in 64
+    bits, ``(h ^ (salt * _COMBINE)) & MASK64 == h ^ salted(salt)``, so
+    the multiply-and-mask can be hoisted out of the loop without
+    changing a single draw.
+    """
+    return (salt * _COMBINE) & MASK64
+
+
 def uniform(h: int, salt: int) -> float:
     """One uniform in [0, 1) derived from (hash, salt)."""
     return (splitmix64((h ^ (salt * _COMBINE)) & MASK64) >> 11) * _INV_2_53

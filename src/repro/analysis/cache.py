@@ -75,6 +75,12 @@ def code_fingerprint() -> str:
         package_root = Path(__file__).resolve().parent.parent
         digest = hashlib.sha256()
         for path in sorted(package_root.rglob("*.py")):
+            # Only the source tree defines simulator behavior: skip
+            # bytecode-cache directories so stray artifacts there (or
+            # stale interpreter caches) can never perturb the
+            # fingerprint in either direction.
+            if "__pycache__" in path.parts:
+                continue
             digest.update(str(path.relative_to(package_root)).encode("utf-8"))
             digest.update(b"\0")
             digest.update(path.read_bytes())

@@ -138,22 +138,7 @@ def make_scheduler(system: str, engine: SimulatedEngine, **overrides) -> Schedul
 
 def _clone_requests(requests: list[Request]) -> list[Request]:
     """Requests are mutated during a run; give each run a private copy."""
-    return [
-        Request(
-            rid=r.rid,
-            category=r.category,
-            arrival_time=r.arrival_time,
-            prompt_len=r.prompt_len,
-            max_new_tokens=r.max_new_tokens,
-            tpot_slo=r.tpot_slo,
-            predictability=r.predictability,
-            priority=r.priority,
-            session_id=r.session_id,
-            turn_index=r.turn_index,
-            prompt_segments=r.prompt_segments,
-        )
-        for r in requests
-    ]
+    return [r.fresh_copy() for r in requests]
 
 
 def run_once(

@@ -56,6 +56,7 @@ __all__ = [
     "build_workload",
     "derive_seed",
     "execute_point",
+    "run_spec",
 ]
 
 #: Legacy flat trace names (the authoritative enumeration, including
@@ -79,14 +80,15 @@ def build_workload(setup: Setup, config: ExperimentSpec) -> list[Request]:
     return TRACES.create(w.trace, gen, w.duration_s, w.rps, mix=mix)
 
 
-def execute_point(config: ExperimentSpec) -> dict:
-    """Run one simulation point and return its serialized report.
+def run_spec(config: ExperimentSpec) -> SimulationReport:
+    """Execute one spec fresh and return the live report (no cache).
 
-    Top-level (picklable) so it can serve as the process-pool worker;
-    deterministic given ``config``.  Cluster points (``replicas > 1`` or
-    autoscaling) run through :func:`~repro.analysis.harness.run_cluster`;
-    their record carries the fleet-level summary, so the cache and the
-    sweep machinery handle them exactly like solo points.
+    The single build-and-run recipe behind :func:`execute_point`, the
+    perf suite (:mod:`repro.perfbench`), and the golden-equivalence
+    tests — so every consumer simulates exactly the configuration real
+    experiments would.  Cluster points (``replicas > 1`` or autoscaling)
+    run through :func:`~repro.analysis.harness.run_cluster` and return
+    the fleet-level summary.
     """
     setup = build_setup(
         config.system.model,
@@ -95,7 +97,7 @@ def execute_point(config: ExperimentSpec) -> dict:
     )
     requests = build_workload(setup, config)
     if config.is_cluster:
-        fleet = run_cluster(
+        return run_cluster(
             setup,
             config.system.name,
             requests,
@@ -107,12 +109,19 @@ def execute_point(config: ExperimentSpec) -> dict:
                 else None
             ),
             max_sim_time_s=config.system.max_sim_time_s,
-        )
-        return report_to_dict(fleet.summary)
-    report = run_once(
+        ).summary
+    return run_once(
         setup, config.system.name, requests, max_sim_time_s=config.system.max_sim_time_s
     )
-    return report_to_dict(report)
+
+
+def execute_point(config: ExperimentSpec) -> dict:
+    """Run one simulation point and return its serialized report.
+
+    Top-level (picklable) so it can serve as the process-pool worker;
+    deterministic given ``config``.
+    """
+    return report_to_dict(run_spec(config))
 
 
 @dataclass(frozen=True)

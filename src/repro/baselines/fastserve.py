@@ -70,4 +70,4 @@ class FastServeScheduler(Scheduler):
             if latency is not None:
                 return latency
             raise RuntimeError("FastServe scheduler stuck: KV exhausted")
-        return self.engine.decode(batch, now)
+        return self.engine.decode(batch, now, context_tokens=self._last_decode_context)

@@ -50,7 +50,9 @@ class PriorityScheduler(Scheduler):
             urgent.sort(key=lambda r: r.requirement(now, 0.0), reverse=True)
             batch = self._ensure_kv_for_decode(urgent[: self.urgent_batch_cap])
             if batch:
-                return self.engine.decode(batch, now)
+                return self.engine.decode(
+                    batch, now, context_tokens=self._last_decode_context
+                )
 
         # No urgent work: behave like vLLM (prefill priority, then decode).
         if self.waiting:
@@ -60,7 +62,9 @@ class PriorityScheduler(Scheduler):
 
         batch = self._ensure_kv_for_decode(self.running[: self.max_batch_size])
         if batch:
-            return self.engine.decode(batch, now)
+            return self.engine.decode(
+                batch, now, context_tokens=self._last_decode_context
+            )
 
         latency = self._prefill_iteration(now)
         if latency is not None:

@@ -64,9 +64,19 @@ class SarathiScheduler(Scheduler):
                 return latency
             raise RuntimeError("Sarathi scheduler stuck: no progress possible")
 
-        latency = self.engine.mixed_step(decode_batch, prefill_chunks, now)
+        latency = self.engine.mixed_step(
+            decode_batch,
+            prefill_chunks,
+            now,
+            decode_context_tokens=self._last_decode_context,
+        )
         for req, _ in prefill_chunks:
-            self.waiting.remove(req)
+            # Always the head of the queue; popleft avoids deque.remove's
+            # full-field dataclass comparisons.
+            if self.waiting and self.waiting[0] is req:
+                self.waiting.popleft()
+            else:  # pragma: no cover - defensive
+                self.waiting.remove(req)
             if req.state == RequestState.RUNNING:
                 self.running.append(req)
             else:

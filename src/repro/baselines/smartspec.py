@@ -23,6 +23,7 @@ Policy reproduced here:
 
 from __future__ import annotations
 
+from repro.core.speculation import draft_chains
 from repro.model.acceptance import verify_sequence
 from repro.registry import SYSTEMS, Param
 from repro.serving.request import Request
@@ -95,14 +96,13 @@ class SmartSpecScheduler(Scheduler):
         # Keep the estimate in a sane band (rate can hit 0/1 on tiny batches).
         self.acceptance_ema = min(0.95, max(0.05, self.acceptance_ema))
 
-    def _draft_chain(self, req: Request, k: int) -> list[int]:
-        chain: list[int] = []
-        ctx = req.ctx
-        for _ in range(k):
-            tok, _prob = self.engine.pair.draft_children(ctx, 1, req.predictability)[0]
-            chain.append(tok)
-            ctx = self.engine.pair.extend(ctx, tok)
-        return chain
+    def _draft_chains(self, batch: list[Request], k: int) -> list[list[int]]:
+        """Greedy ``k``-token chains for the whole batch (lockstep)."""
+        return draft_chains(
+            self.engine.pair,
+            [(r.ctx, r.predictability) for r in batch],
+            k,
+        )
 
     # ------------------------------------------------------------------
     def step(self, now: float) -> float:
@@ -121,11 +121,11 @@ class SmartSpecScheduler(Scheduler):
                 return latency
             raise RuntimeError("SmartSpec scheduler stuck: no progress possible")
 
-        context = sum(r.kv_tokens for r in batch)
+        context = self._last_decode_context
         k = self.choose_k(len(batch), context)
         self.last_k = k
 
-        chains = [self._draft_chain(r, k) for r in batch]
+        chains = self._draft_chains(batch, k)
         draft_latency = self.engine.sequence_draft_cost(k, len(batch), context)
         verify_latency = self.engine.verify_cost(k * len(batch), context)
         latency = draft_latency + verify_latency + self.engine.step_overhead_s

@@ -44,4 +44,4 @@ class VLLMScheduler(Scheduler):
             if latency is not None:
                 return latency
             raise RuntimeError("vLLM scheduler stuck: no prefill and no decode possible")
-        return self.engine.decode(batch, now)
+        return self.engine.decode(batch, now, context_tokens=self._last_decode_context)

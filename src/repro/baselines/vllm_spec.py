@@ -14,6 +14,7 @@ inflating iteration latency for everyone.
 
 from __future__ import annotations
 
+from repro.core.speculation import draft_chains
 from repro.model.acceptance import verify_sequence
 from repro.registry import SYSTEMS, Param
 from repro.serving.request import Request
@@ -52,15 +53,13 @@ class VLLMSpecScheduler(Scheduler):
         self.spec_len = spec_len
         self.name = f"vLLM-Spec({spec_len})"
 
-    def _draft_chain(self, req: Request) -> list[int]:
-        """Greedy draft decode of ``spec_len`` tokens from the request's context."""
-        chain: list[int] = []
-        ctx = req.ctx
-        for _ in range(self.spec_len):
-            tok, _prob = self.engine.pair.draft_children(ctx, 1, req.predictability)[0]
-            chain.append(tok)
-            ctx = self.engine.pair.extend(ctx, tok)
-        return chain
+    def _draft_chains(self, batch: list[Request]) -> list[list[int]]:
+        """Greedy ``spec_len``-token chains for the whole batch (lockstep)."""
+        return draft_chains(
+            self.engine.pair,
+            [(r.ctx, r.predictability) for r in batch],
+            self.spec_len,
+        )
 
     def step(self, now: float) -> float:
         self._retire_finished()
@@ -80,8 +79,8 @@ class VLLMSpecScheduler(Scheduler):
             raise RuntimeError("vLLM-Spec scheduler stuck: no progress possible")
 
         # Draft phase: spec_len sequential steps over the whole batch.
-        context = sum(r.kv_tokens for r in batch)
-        chains = [self._draft_chain(r) for r in batch]
+        context = self._last_decode_context
+        chains = self._draft_chains(batch)
         draft_latency = self.engine.sequence_draft_cost(self.spec_len, len(batch), context)
 
         # Verify phase: all chains in one target pass.

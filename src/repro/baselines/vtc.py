@@ -56,7 +56,7 @@ class VTCScheduler(Scheduler):
             if latency is not None:
                 return latency
             raise RuntimeError("VTC scheduler stuck: KV exhausted")
-        latency = self.engine.decode(batch, now)
+        latency = self.engine.decode(batch, now, context_tokens=self._last_decode_context)
         for req in batch:
             self.counters[req.category] += 1.0
         return latency

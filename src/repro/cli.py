@@ -10,6 +10,9 @@ The subcommands mirror how the repository is used:
   optionally autoscaled;
 - ``list``: introspect the component registries (systems, routers,
   traces, models) with their parameter schemas;
+- ``bench``: measure the *simulator's* own throughput (iterations per
+  wall-second) over the standard perf suite and write ``BENCH_PR5.json``
+  (see :mod:`repro.perfbench`);
 - ``profile``: hardware profiling (Table 1 derived quantities).
 
 Components are referenced by registry spec strings — ``adaserve``,
@@ -40,6 +43,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
 from pathlib import Path
@@ -391,6 +395,52 @@ def _cmd_cache_prune(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    """Run the simulator perf suite (see :mod:`repro.perfbench`)."""
+    import cProfile
+
+    from repro.perfbench import (
+        compare_to_baseline,
+        format_bench_table,
+        run_suite,
+    )
+    from repro.perfbench.suite import load_result
+
+    def progress(row) -> None:
+        print(
+            f"  done: {row['name']} ({row['wall_s']:.2f}s wall, "
+            f"{row['iters_per_s']:.0f} iters/s)",
+            file=sys.stderr,
+        )
+
+    if args.profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = run_suite(quick=args.quick, progress=progress)
+        profiler.disable()
+        pstats_path = str(Path(args.out).with_suffix(".pstats"))
+        profiler.dump_stats(pstats_path)
+        print(f"wrote {pstats_path}", file=sys.stderr)
+    else:
+        result = run_suite(quick=args.quick, progress=progress)
+
+    warnings: list[str] = []
+    if args.baseline is not None:
+        try:
+            baseline = load_result(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+        summary, warnings = compare_to_baseline(result, baseline)
+        result["baseline"] = summary
+
+    print(format_bench_table(result))
+    for line in warnings:
+        print(line, file=sys.stderr)
+    _write_out(args.out, json.dumps(result, indent=2, sort_keys=True, allow_nan=False))
+    return 0
+
+
 def _cmd_profile(args) -> int:
     setup = build_setup(args.model, seed=args.seed)
     rl = setup.target_roofline
@@ -523,6 +573,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="report what would be deleted without removing anything",
     )
     p_prune.set_defaults(func=_cmd_cache_prune)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure simulator throughput over the standard perf suite",
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="shortened traces (same scenarios) for CI smoke runs",
+    )
+    p_bench.add_argument(
+        "--out",
+        default="BENCH_PR5.json",
+        help="write the bench result JSON here (default: BENCH_PR5.json)",
+    )
+    p_bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="compare against a previous bench result; a >30%% iterations/s "
+        "drop prints a warning (never fails)",
+    )
+    p_bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="also dump a cProfile pstats file next to --out",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_prof = sub.add_parser("profile", help="hardware profiling for a deployment")
     p_prof.add_argument("--model", type=_model_spec, default="llama70b")

@@ -25,6 +25,8 @@ numbers are directly comparable.
 
 from __future__ import annotations
 
+import heapq
+from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass
 
@@ -113,6 +115,19 @@ class FleetSimulator:
         ]
         self.scale_events: list[ScaleEvent] = []
         self._peak_live = num_replicas
+        # Incremental fleet state (replaces per-event full rescans):
+        # - the event heap holds (local_now, index) for replicas believed
+        #   busy; entries go stale when a replica steps or drains and are
+        #   dropped lazily at the top;
+        # - the routable pool is maintained in index order (warm-ups are
+        #   promoted lazily, drains removed eagerly), so routing an
+        #   arrival no longer rebuilds the pool from scratch;
+        # - live/draining counters keep autoscale/retire checks O(1).
+        self._event_heap: list[tuple[float, int]] = []
+        self._pool: list[Replica] = list(self.replicas)
+        self._warming: deque[Replica] = deque()
+        self._live = num_replicas
+        self._num_draining = 0
 
     # ------------------------------------------------------------------
     def _spawn(self, index: int, available_at: float) -> Replica:
@@ -120,7 +135,15 @@ class FleetSimulator:
         return Replica(index, engine, scheduler, available_at=available_at)
 
     def _routable(self, now: float) -> list[Replica]:
-        pool = [r for r in self.replicas if r.routable(now)]
+        # Promote finished warm-ups (spawn order, so nondecreasing
+        # available_at keeps the pool in index order; draining/retired
+        # replicas are filtered at promotion time).
+        warming = self._warming
+        pool = self._pool
+        while warming and warming[0].available_at <= now:
+            replica = warming.popleft()
+            if not replica.draining and not replica.retired:
+                pool.append(replica)
         if pool:
             return pool
         # Degenerate fallbacks (no warm, non-draining replica): prefer
@@ -128,9 +151,9 @@ class FleetSimulator:
         # available — so a drain decision is not fed new work; only a
         # fleet of nothing but drainers routes to them (never drop a
         # request).
-        warming = [r for r in self.replicas if not r.retired and not r.draining]
-        if warming:
-            return warming
+        still_warming = [r for r in self.replicas if not r.retired and not r.draining]
+        if still_warming:
+            return still_warming
         return [r for r in self.replicas if not r.retired]
 
     def _autoscale(self, now: float) -> None:
@@ -140,65 +163,99 @@ class FleetSimulator:
         if decision > 0:
             index = len(self.replicas)
             warmup = self.autoscaler.config.warmup_s
-            self.replicas.append(self._spawn(index, available_at=now + warmup))
+            replica = self._spawn(index, available_at=now + warmup)
+            self.replicas.append(replica)
+            self._warming.append(replica)
             self.scale_events.append(ScaleEvent(now, "up", index))
-            live = sum(1 for r in self.replicas if not r.retired)
-            self._peak_live = max(self._peak_live, live)
+            self._live += 1
+            self._peak_live = max(self._peak_live, self._live)
         elif decision < 0:
             victim = self.autoscaler.pick_drain_victim(self.replicas)
             if victim is not None:
-                victim.draining = True
+                self._drain(victim)
                 self.scale_events.append(ScaleEvent(now, "down", victim.index))
 
+    def _drain(self, victim: Replica) -> None:
+        """Flag a replica as draining and pull it from the routable pool."""
+        victim.draining = True
+        self._num_draining += 1
+        for i, replica in enumerate(self._pool):
+            if replica is victim:
+                del self._pool[i]
+                break
+
     def _retire_drained(self) -> None:
+        if self._num_draining == 0:
+            return
         for replica in self.replicas:
             if replica.draining and not replica.retired and not replica.has_work():
                 replica.finalize()
                 replica.retired = True
+                self._live -= 1
+                self._num_draining -= 1
 
     # ------------------------------------------------------------------
     def run(self) -> FleetReport:
-        """Execute the fleet simulation to completion (or safety cutoff)."""
+        """Execute the fleet simulation to completion (or safety cutoff).
+
+        The loop is event-driven over an explicit heap: replicas with
+        work sit in ``_event_heap`` keyed on ``(local_now, index)`` —
+        identical selection (and tie-breaking) to the former
+        ``min(...)``-over-rebuilt-lists scan, without rebuilding the
+        ``busy``/``runnable`` lists at every event.  Entries are pushed
+        on the idle→busy transition (an arrival routed to an idle
+        replica) and after each step that leaves work behind; entries
+        invalidated by draining are dropped lazily at the heap top.
+        """
         clock = SimClock()
         arrivals = ArrivalStream(self.requests)
         iterations = 0
+        horizon = self.max_sim_time_s
+        heap = self._event_heap
+        replicas = self.replicas
 
         while True:
-            busy = [
-                r for r in self.replicas if not r.retired and r.has_work()
-            ]
+            # Drop stale heap entries (replica stepped, drained, or
+            # retired since its entry was pushed).
+            while heap:
+                t, i = heap[0]
+                replica = replicas[i]
+                if replica.local_now == t and not replica.retired and replica.has_work():
+                    break
+                heapq.heappop(heap)
             next_arrival = arrivals.next_arrival
-            if not busy and next_arrival is None:
+            if not heap and next_arrival is None:
                 break  # drained
+
             # Safety horizon, per replica as in the single-engine loop: a
             # replica stops stepping once an iteration finishes beyond
             # the horizon (its leftover requests count as violations).
             # The run continues while any working replica is below the
             # horizon, or an idle sub-horizon replica could still serve a
             # pending sub-horizon arrival — only then is nothing left.
-            runnable = [r for r in busy if r.local_now <= self.max_sim_time_s]
-            if busy and not runnable:
-                idle_capacity = any(
-                    not r.retired
-                    and not r.has_work()
-                    and r.local_now <= self.max_sim_time_s
-                    for r in self.replicas
-                )
-                if (
-                    next_arrival is None
-                    or next_arrival > self.max_sim_time_s
-                    or not idle_capacity
-                ):
-                    break
+            step_candidate = None
+            if heap:
+                t, i = heap[0]
+                if t <= horizon:
+                    step_candidate = replicas[i]
+                else:
+                    idle_capacity = any(
+                        not r.retired
+                        and not r.has_work()
+                        and r.local_now <= horizon
+                        for r in replicas
+                    )
+                    if (
+                        next_arrival is None
+                        or next_arrival > horizon
+                        or not idle_capacity
+                    ):
+                        break
 
-            step_candidate = (
-                min(runnable, key=lambda r: (r.local_now, r.index))
-                if runnable
-                else None
-            )
             if step_candidate is not None and (
                 next_arrival is None or step_candidate.local_now < next_arrival
             ):
+                heapq.heappop(heap)
                 clock.advance_to(step_candidate.local_now)
                 step_candidate.step()
                 iterations += 1
@@ -206,11 +263,18 @@ class FleetSimulator:
                     raise RuntimeError(
                         f"fleet exceeded {self.max_iterations} iterations"
                     )
+                if step_candidate.has_work():
+                    heapq.heappush(
+                        heap, (step_candidate.local_now, step_candidate.index)
+                    )
             else:
                 clock.advance_to(next_arrival)
                 for req in arrivals.release_until(clock.now):
                     target = self.router.route(req, self._routable(clock.now))
+                    was_busy = target.has_work()
                     target.admit(req, clock.now)
+                    if not was_busy:
+                        heapq.heappush(heap, (target.local_now, target.index))
 
             self._autoscale(clock.now)
             self._retire_drained()

@@ -185,7 +185,7 @@ class AdaServeScheduler(Scheduler):
         chunks = self._take_prefill_chunk()
         chunk_tokens = sum(t for _, t in chunks)
 
-        context = sum(r.kv_tokens for r in batch)
+        context = self._last_decode_context
         t_spec = self._estimate_iteration_latency(n, d, w, context)
         t_spec += chunk_tokens * self.engine.target_roofline.compute_seconds_per_token
 
@@ -292,7 +292,11 @@ class AdaServeScheduler(Scheduler):
         for req, tokens in chunks:
             req.advance_prefill(tokens)
             if req.remaining_prompt == 0:
-                self.waiting.remove(req)
+                # The chunk is always the head of the waiting queue.
+                if self.waiting and self.waiting[0] is req:
+                    self.waiting.popleft()
+                else:  # pragma: no cover - defensive
+                    self.waiting.remove(req)
                 req.begin_decode(self.engine.root_ctx(req), end)
                 self.running.append(req)
         return latency

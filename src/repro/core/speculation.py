@@ -20,9 +20,45 @@ the scheduler can price the phase with the draft roofline + CUDA graphs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import itemgetter
 
 from repro.core.tree import TokenTree, TreeNode
 from repro.model.pair import ModelPair
+from repro.model.stochastic_lm import PREFETCH_MIN_BATCH
+
+#: Sort key over (path_prob, node, token, prob) candidates (hot loop).
+_BY_PATH_PROB = itemgetter(0)
+
+
+def draft_chains(
+    pair: ModelPair,
+    starts: list[tuple[int, float | None]],
+    k: int,
+) -> list[list[int]]:
+    """Greedy ``k``-token draft chains from each ``(ctx, center)`` start.
+
+    Used by the chain-speculation baselines (vLLM-Spec, SmartSpec).
+    Each chain is an independent pure function of its start context, so
+    drafting all chains step-lockstep yields identical tokens to
+    per-request loops while letting every step's draft distributions be
+    generated in one vectorized pass (``DraftLM.prefetch``).
+    """
+    draft = pair.draft
+    extend = pair.extend
+    top_w = draft.top_w
+    ctxs = [ctx for ctx, _ in starts]
+    chains: list[list[int]] = [[] for _ in starts]
+    prefetchable = len(starts) >= PREFETCH_MIN_BATCH
+    for _ in range(k):
+        if prefetchable:
+            draft.prefetch(
+                [(ctx, center) for ctx, (_, center) in zip(ctxs, starts)]
+            )
+        for i, (_, center) in enumerate(starts):
+            tok, _prob = top_w(ctxs[i], 1, center)[0]
+            chains[i].append(tok)
+            ctxs[i] = extend(ctxs[i], tok)
+    return chains
 
 
 @dataclass(frozen=True)
@@ -65,21 +101,49 @@ def build_candidate_tree(
         raise ValueError(f"invalid beam shape: depth={depth}, width={width}")
     tree = TokenTree(root_token, root_ctx)
     frontier: list[TreeNode] = [tree.root]
+    draft_distribution = pair.draft.distribution
+    extend = pair.extend
     for _ in range(depth):
-        # Gather candidate children across the frontier.
-        candidates: list[tuple[float, TreeNode, int, float]] = []
-        for node in frontier:
-            for token_id, prob in pair.draft_children(node.ctx_hash, width, center=center):
-                candidates.append((node.path_prob * prob, node, token_id, prob))
-        if not candidates:
+        frontier = _advance_level(
+            tree, frontier, draft_distribution, extend, width, center
+        )
+        if not frontier:
             break
-        candidates.sort(key=lambda c: c[0], reverse=True)
-        new_frontier: list[TreeNode] = []
-        for path_prob, parent, token_id, prob in candidates[:width]:
-            ctx = pair.extend(parent.ctx_hash, token_id)
-            new_frontier.append(tree.add_child(parent, token_id, ctx, prob))
-        frontier = new_frontier
     return tree
+
+
+def _advance_level(
+    tree: TokenTree,
+    frontier: list[TreeNode],
+    draft_distribution,
+    extend,
+    width: int,
+    center: float | None,
+) -> list[TreeNode]:
+    """Expand one beam level; returns the new frontier.
+
+    Hot loop: reads the draft distribution's (already sorted) tuples
+    directly instead of materializing per-node (token, prob) pair lists.
+    Shared by the per-request builder above and the level-synchronous
+    batch builder below, so both construct identical trees.
+    """
+    candidates: list[tuple[float, TreeNode, int, float]] = []
+    append = candidates.append
+    for node in frontier:
+        dist = draft_distribution(node.ctx_hash, center)
+        path_prob = node.path_prob
+        for token_id, prob in zip(dist.token_ids[:width], dist.probs[:width]):
+            append((path_prob * prob, node, token_id, prob))
+    if not candidates:
+        return []
+    candidates.sort(key=_BY_PATH_PROB, reverse=True)
+    add_child = tree.add_child
+    new_frontier: list[TreeNode] = []
+    for _path_prob, parent, token_id, prob in candidates[:width]:
+        new_frontier.append(
+            add_child(parent, token_id, extend(parent.ctx_hash, token_id), prob)
+        )
+    return new_frontier
 
 
 def speculate_batch(
@@ -111,10 +175,33 @@ def speculate_batch(
         centers = [None] * n
     elif len(centers) != n:
         raise ValueError("centers length must match roots")
-    trees = [
-        build_candidate_tree(pair, tok, ctx, depth, width, center=c)
-        for (tok, ctx), c in zip(roots, centers)
-    ]
+    if depth < 0 or width < 1:
+        raise ValueError(f"invalid beam shape: depth={depth}, width={width}")
+    # Level-synchronous construction: all trees advance one beam level at
+    # a time so the whole batch's pending draft queries can be generated
+    # in one vectorized pass (``DraftLM.prefetch``).  Each tree's own
+    # expansion logic is byte-identical to ``build_candidate_tree`` (they
+    # share ``_advance_level``); only the order in which the shared memo
+    # is populated differs, which is unobservable.
+    trees = [TokenTree(tok, ctx) for tok, ctx in roots]
+    draft = pair.draft
+    draft_distribution = draft.distribution
+    extend = pair.extend
+    frontiers = [[t.root] for t in trees]
+    for _ in range(depth):
+        if n * width >= PREFETCH_MIN_BATCH:
+            pending = [
+                (node.ctx_hash, centers[i])
+                for i in range(n)
+                for node in frontiers[i]
+            ]
+            if len(pending) >= PREFETCH_MIN_BATCH:
+                draft.prefetch(pending)
+        for i in range(n):
+            if frontiers[i]:
+                frontiers[i] = _advance_level(
+                    trees[i], frontiers[i], draft_distribution, extend, width, centers[i]
+                )
     if depth == 0 or n == 0:
         step_tokens: tuple[int, ...] = ()
     else:

@@ -109,6 +109,12 @@ class RooflineModel:
         else:
             self._comm_per_token = 0.0
         self._launch_time = model.n_layers * KERNELS_PER_LAYER * gpu.kernel_launch_s
+        # Memoized end-to-end latencies keyed on the pass shape.  Decode
+        # and speculation steps overwhelmingly repeat (batch, context,
+        # launch) signatures within a run, and the model is a pure
+        # function of them, so caching the float is exact — it skips the
+        # ForwardCost construction, not any arithmetic variation.
+        self._latency_cache: dict[tuple[int, int, float | None], float] = {}
 
     # ------------------------------------------------------------------
     def forward_cost(
@@ -140,14 +146,30 @@ class RooflineModel:
             launch_time=self._launch_time if launch_overhead is None else launch_overhead,
         )
 
+    _LATENCY_CACHE_CAP = 1 << 16
+
     def forward_latency(
         self,
         batch_tokens: int,
         context_tokens: int = 0,
         launch_overhead: float | None = None,
     ) -> float:
-        """End-to-end latency (seconds) of one forward pass."""
-        return self.forward_cost(batch_tokens, context_tokens, launch_overhead).total
+        """End-to-end latency (seconds) of one forward pass.
+
+        Memoized on the shape signature (decode and speculation steps
+        overwhelmingly repeat shapes within a run); misses delegate to
+        :meth:`forward_cost`, so there is exactly one latency formula.
+        """
+        key = (batch_tokens, context_tokens, launch_overhead)
+        cache = self._latency_cache
+        total = cache.get(key)
+        if total is not None:
+            return total
+        total = self.forward_cost(batch_tokens, context_tokens, launch_overhead).total
+        if len(cache) >= self._LATENCY_CACHE_CAP:
+            cache.clear()
+        cache[key] = total
+        return total
 
     def decode_latency(self, batch_size: int, context_tokens: int = 0) -> float:
         """Latency of a plain autoregressive decode step (one token/request)."""

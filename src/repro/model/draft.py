@@ -22,10 +22,31 @@ probabilities, with controllable estimation error.
 
 from __future__ import annotations
 
-from repro._rng import mix as _mix, uniforms
-from repro.model.stochastic_lm import StochasticLM, TokenDistribution
+from operator import itemgetter
+
+from repro._rng import (
+    MASK64,
+    _COMBINE,
+    _GOLDEN,
+    _INV_2_53,
+    _MIX1,
+    _MIX2,
+    salted,
+)
+from repro.model.stochastic_lm import (
+    StochasticLM,
+    TokenDistribution,
+    shared_distribution_cache,
+)
 
 _SALT_NOISE = 0x44_52  # ASCII "DR"
+
+#: Precomputed XOR mask for the noise stream (see repro._rng.salted).
+_NOISE_MASK = salted(_SALT_NOISE)
+
+#: Sort key for (token, prob) pairs — itemgetter beats a lambda in the
+#: per-context distribution construction.
+_BY_PROB = itemgetter(1)
 
 
 class DraftLM:
@@ -44,7 +65,19 @@ class DraftLM:
             raise ValueError(f"alignment must be in [0, 1], got {alignment}")
         self.target = target
         self.alignment = alignment
-        self._cache: dict[int, TokenDistribution] = {}
+        # Same sharing rationale as the target's memo: the draft mapping
+        # is fully determined by the target's parameters + alignment.
+        self._cache: dict[int, TokenDistribution] = shared_distribution_cache(
+            (
+                "draft",
+                target.vocab.num_regular,
+                target.branching,
+                target.predictability,
+                target.spread,
+                target.decay,
+                alignment,
+            )
+        )
         self._cache_cap = 200_000
 
     @property
@@ -68,35 +101,82 @@ class DraftLM:
         from the target's when alignment < 1.  ``center`` is forwarded to
         the target (per-request predictability).
         """
-        key = ctx if center is None else _mix(ctx, int(center * 1e6))
-        cached = self._cache.get(key)
+        # Innermost hot path (one call per candidate-tree node): the
+        # cache key is computed once and shared with the target's memo
+        # (same derivation, distinct dicts), the noise stream is the
+        # uniforms() loop inlined, and (ids, probs) come from one
+        # zip(*...) — every float is produced by the same operations in
+        # the same order as the reference implementation above each
+        # block, so cached and regenerated distributions are identical.
+        if center is None:
+            key = ctx
+        else:
+            # mix(ctx, int(center * 1e6)), inlined.
+            x = (((ctx ^ (int(center * 1e6) * _COMBINE)) & MASK64) + _GOLDEN) & MASK64
+            x = ((x ^ (x >> 30)) * _MIX1) & MASK64
+            x = ((x ^ (x >> 27)) * _MIX2) & MASK64
+            key = x ^ (x >> 31)
+        cache = self._cache
+        cached = cache.get(key)
         if cached is not None:
             return cached
-        tgt = self.target.distribution(ctx, center)
-        k = len(tgt.token_ids)
+        target = self.target
+        tgt_cache = target._cache
+        tgt = tgt_cache.get(key)
+        if tgt is None:
+            tgt = target._generate(
+                ctx, target.predictability if center is None else center
+            )
+            if len(tgt_cache) >= target._cache_cap:
+                tgt_cache.clear()
+            tgt_cache[key] = tgt
         a = self.alignment
         if a >= 1.0:
             dist = tgt
         else:
-            noise = uniforms(ctx, _SALT_NOISE, k)
+            # uniforms(ctx, _SALT_NOISE, k), inlined.
+            k = len(tgt.token_ids)
+            x = ((ctx ^ _NOISE_MASK) + _GOLDEN) & MASK64
+            x = ((x ^ (x >> 30)) * _MIX1) & MASK64
+            x = ((x ^ (x >> 27)) * _MIX2) & MASK64
+            x ^= x >> 31
+            noise = []
+            append = noise.append
+            for _ in range(k):
+                x = (x + _GOLDEN) & MASK64
+                y = ((x ^ (x >> 30)) * _MIX1) & MASK64
+                y = ((y ^ (y >> 27)) * _MIX2) & MASK64
+                y ^= y >> 31
+                append((y >> 11) * _INV_2_53)
             noise_total = sum(noise)
+            inv_a = 1.0 - a
             mixed = [
-                a * p + (1.0 - a) * (n / noise_total)
+                a * p + inv_a * (n / noise_total)
                 for p, n in zip(tgt.probs, noise)
             ]
             total = sum(mixed)
             pairs = sorted(
-                zip(tgt.token_ids, (m / total for m in mixed)),
-                key=lambda tp: tp[1],
+                zip(tgt.token_ids, [m / total for m in mixed]),
+                key=_BY_PROB,
                 reverse=True,
             )
-            dist = TokenDistribution(
-                tuple(t for t, _ in pairs), tuple(p for _, p in pairs)
-            )
-        if len(self._cache) >= self._cache_cap:
-            self._cache.clear()
-        self._cache[key] = dist
+            ids, probs = zip(*pairs)
+            dist = TokenDistribution(ids, probs)
+        if len(cache) >= self._cache_cap:
+            cache.clear()
+        cache[key] = dist
         return dist
+
+    def prefetch(self, items) -> None:
+        """Warm the draft (and target) memos for many ``(ctx, center)`` queries.
+
+        Vectorized batch generation (see :mod:`repro.model.batchgen`);
+        bit-identical to generating on demand, and a no-op when numpy is
+        unavailable or the batch is too small to amortize.
+        """
+        from repro.model import batchgen
+
+        batchgen.prefetch_draft(self, items)
 
     def top_w(self, ctx: int, w: int, center: float | None = None) -> list[tuple[int, float]]:
         """The draft's ``w`` most likely continuations as (token, prob) pairs."""

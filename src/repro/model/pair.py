@@ -51,6 +51,13 @@ class ModelPair:
             raise ValueError("draft must wrap the same target model")
         self.target = target
         self.draft = draft
+        # Bind the hottest delegations straight to the underlying bound
+        # methods (instance attributes shadow the class methods below):
+        # speculation calls these millions of times per run, and the
+        # extra delegating frame is pure overhead.
+        self.extend = target.extend
+        self.draft_children = draft.top_w
+        self.target_sample = target.sample
 
     # -- constructors ---------------------------------------------------
     @classmethod

@@ -1,0 +1,36 @@
+"""Simulator performance tracking (``repro bench``).
+
+The rest of the repository measures the *simulated systems* (attainment,
+goodput); this package measures the **simulator itself** — iterations per
+wall-clock second and simulated seconds per wall second over a fixed,
+seeded suite of representative scenarios — so that performance work on
+the hot loops is a regression-tracked artifact instead of folklore.
+
+The suite runs every simulation directly through the harness and never
+touches the result cache: a bench run always executes fresh simulations
+(a cache hit would measure JSON decoding, not the simulator), and there
+is consequently no interaction with the cache's source fingerprint or
+any stale on-disk record.  Each scenario also digests its reports'
+strict-JSON export, so a bench run doubles as an end-to-end equivalence
+check across optimization work.
+"""
+
+from repro.perfbench.suite import (
+    BENCH_SCHEMA_VERSION,
+    DEFAULT_OUT,
+    Scenario,
+    build_suite,
+    compare_to_baseline,
+    format_bench_table,
+    run_suite,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_OUT",
+    "Scenario",
+    "build_suite",
+    "compare_to_baseline",
+    "format_bench_table",
+    "run_suite",
+]

@@ -1,0 +1,284 @@
+"""The standard simulator-performance suite and its JSON schema.
+
+Four scenarios cover the simulator's distinct hot paths:
+
+- ``solo-adaserve``: the speculate-select-verify pipeline and the
+  synthetic model substrate (tree construction, draft distributions);
+- ``fleet-4r``: the fleet event loop, routing, and the vLLM decode path
+  (KV admission, preemption machinery) at cluster scale;
+- ``sessions-prefix``: prefix-cache matching, token-stream hashing, and
+  session workloads;
+- ``sweep-12pt``: a Figure 8/9-shaped grid across four systems, the
+  dominant wall-clock cost of CI and large experiments.
+
+Every scenario is a fixed-seed pure function of its specs, so the
+per-scenario report digest (SHA-256 over the strict-JSON exports) must
+be identical before and after any legitimate performance change; the
+digests double as a coarse golden-equivalence check (the fine-grained
+one lives in ``tests/test_golden_equivalence.py``).
+
+Results are written in a stable schema (see :data:`BENCH_SCHEMA_VERSION`)
+so ``BENCH_PR5.json`` files remain comparable across PRs::
+
+    {
+      "bench_schema": 1,
+      "suite": "full" | "quick",
+      "repro_version": "...",
+      "scenarios": [
+        {"name": ..., "runs": ..., "wall_s": ..., "iterations": ...,
+         "iters_per_s": ..., "sim_time_s": ..., "sim_s_per_wall_s": ...,
+         "digest": "sha256:..."},
+        ...
+      ],
+      "aggregate": {"wall_s": ..., "iterations": ..., "iters_per_s": ...,
+                    "sim_time_s": ..., "sim_s_per_wall_s": ...},
+      "baseline": {...optional embedded comparison...}
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+
+from repro import __version__
+from repro.analysis.export import report_to_json
+from repro.analysis.runner import run_spec
+from repro.analysis.spec import ExperimentSpec
+
+#: Bump when the result layout changes (comparison refuses mismatches).
+BENCH_SCHEMA_VERSION = 1
+
+#: Default output path for the committed perf trajectory.
+DEFAULT_OUT = "BENCH_PR5.json"
+
+#: Iterations/s regression (fractional drop vs baseline) that triggers a
+#: warning in :func:`compare_to_baseline`.
+REGRESSION_WARN_FRACTION = 0.30
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named bench scenario: a tuple of experiment specs."""
+
+    name: str
+    description: str
+    specs: tuple[ExperimentSpec, ...]
+
+
+def build_suite(quick: bool = False) -> list[Scenario]:
+    """The standard suite (``--quick`` shortens traces, same scenarios)."""
+    d_run = 8.0 if quick else 30.0
+    d_sweep = 4.0 if quick else 10.0
+
+    def spec(**kw) -> ExperimentSpec:
+        kw.setdefault("model", "llama70b")
+        kw.setdefault("seed", 0)
+        return ExperimentSpec.create(**kw)
+
+    sweep = tuple(
+        spec(system=system, rps=rps, duration_s=d_sweep, trace="bursty")
+        for system in ("vllm", "sarathi", "vllm-spec:k=4", "adaserve")
+        for rps in (2.6, 3.4, 4.2)
+    )
+    return [
+        Scenario(
+            "solo-adaserve",
+            "one AdaServe engine on the bursty trace (speculation pipeline)",
+            (spec(system="adaserve", rps=4.0, duration_s=d_run, trace="bursty"),),
+        ),
+        Scenario(
+            "fleet-4r",
+            "4-replica vLLM fleet, least-loaded routing, diurnal trace",
+            (
+                spec(
+                    system="vllm",
+                    rps=12.0,
+                    duration_s=d_run,
+                    trace="diurnal",
+                    replicas=4,
+                    router="least-loaded",
+                ),
+            ),
+        ),
+        Scenario(
+            "sessions-prefix",
+            "session workload with the shared prefix cache enabled",
+            (
+                spec(
+                    system="vllm",
+                    rps=6.0,
+                    duration_s=d_run,
+                    trace="sessions",
+                    prefix_cache=True,
+                ),
+            ),
+        ),
+        Scenario(
+            "sweep-12pt",
+            "12-point RPS grid over vllm/sarathi/vllm-spec/adaserve",
+            sweep,
+        ),
+    ]
+
+
+def run_scenario(scenario: Scenario) -> dict:
+    """Execute one scenario; returns its result row (stable schema)."""
+    digest = hashlib.sha256()
+    iterations = 0
+    sim_time = 0.0
+    start = time.perf_counter()
+    for spec in scenario.specs:
+        report = run_spec(spec)  # fresh simulation — never the result cache
+        iterations += report.iterations
+        sim_time += report.sim_time_s
+        digest.update(report_to_json(report).encode("utf-8"))
+        digest.update(b"\0")
+    wall = time.perf_counter() - start
+    return {
+        "name": scenario.name,
+        "description": scenario.description,
+        "runs": len(scenario.specs),
+        "wall_s": wall,
+        "iterations": iterations,
+        "iters_per_s": iterations / wall if wall > 0 else 0.0,
+        "sim_time_s": sim_time,
+        "sim_s_per_wall_s": sim_time / wall if wall > 0 else 0.0,
+        "digest": f"sha256:{digest.hexdigest()}",
+    }
+
+
+def run_suite(quick: bool = False, progress=None) -> dict:
+    """Run the whole suite; returns the stable-schema result dict."""
+    rows = []
+    for scenario in build_suite(quick):
+        row = run_scenario(scenario)
+        rows.append(row)
+        if progress is not None:
+            progress(row)
+    wall = sum(r["wall_s"] for r in rows)
+    iterations = sum(r["iterations"] for r in rows)
+    sim_time = sum(r["sim_time_s"] for r in rows)
+    return {
+        "bench_schema": BENCH_SCHEMA_VERSION,
+        "suite": "quick" if quick else "full",
+        "repro_version": __version__,
+        "scenarios": rows,
+        "aggregate": {
+            "wall_s": wall,
+            "iterations": iterations,
+            "iters_per_s": iterations / wall if wall > 0 else 0.0,
+            "sim_time_s": sim_time,
+            "sim_s_per_wall_s": sim_time / wall if wall > 0 else 0.0,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison
+# ----------------------------------------------------------------------
+def compare_to_baseline(current: dict, baseline: dict) -> tuple[dict, list[str]]:
+    """Compare two bench results; returns (summary, warnings).
+
+    The summary is embedded under the result's ``baseline`` key.  A
+    scenario (or the aggregate) whose iterations/s dropped by more than
+    :data:`REGRESSION_WARN_FRACTION` produces a warning — never an error:
+    wall-clock noise across machines and Python versions makes a hard
+    gate counterproductive, but a 30% drop is worth a human look.
+    """
+    warnings: list[str] = []
+    if baseline.get("bench_schema") != current.get("bench_schema"):
+        warnings.append(
+            "baseline uses bench_schema "
+            f"{baseline.get('bench_schema')!r} (current: "
+            f"{current.get('bench_schema')!r}); comparison skipped"
+        )
+        return {"comparable": False}, warnings
+    if baseline.get("suite") != current.get("suite"):
+        # A committed result may carry its sibling suite's numbers under
+        # a key named after that suite (the repo's BENCH_PR5.json embeds
+        # the quick run this way so CI's --quick smoke compares like with
+        # like); fall through to an indicative comparison otherwise.
+        nested = baseline.get(current.get("suite"))
+        if isinstance(nested, dict) and nested.get("suite") == current.get("suite"):
+            baseline = nested
+        else:
+            warnings.append(
+                f"baseline suite is {baseline.get('suite')!r} but this run is "
+                f"{current.get('suite')!r}; iterations/s ratios are indicative only"
+            )
+
+    base_rows = {row["name"]: row for row in baseline.get("scenarios", [])}
+    per_scenario: dict[str, dict] = {}
+    for row in current["scenarios"]:
+        base = base_rows.get(row["name"])
+        if base is None or base.get("iters_per_s", 0.0) <= 0.0:
+            continue
+        ratio = row["iters_per_s"] / base["iters_per_s"]
+        per_scenario[row["name"]] = {
+            "baseline_iters_per_s": base["iters_per_s"],
+            "iters_per_s": row["iters_per_s"],
+            "speedup": ratio,
+        }
+        if ratio < 1.0 - REGRESSION_WARN_FRACTION:
+            warnings.append(
+                f"warning: scenario {row['name']!r} iterations/s dropped "
+                f"{(1.0 - ratio) * 100:.0f}% vs baseline "
+                f"({base['iters_per_s']:.0f} -> {row['iters_per_s']:.0f})"
+            )
+
+    base_agg = baseline.get("aggregate", {})
+    summary: dict = {"comparable": True, "per_scenario": per_scenario}
+    if base_agg.get("iters_per_s", 0.0) > 0.0:
+        ratio = current["aggregate"]["iters_per_s"] / base_agg["iters_per_s"]
+        summary["aggregate"] = {
+            "baseline_iters_per_s": base_agg["iters_per_s"],
+            "iters_per_s": current["aggregate"]["iters_per_s"],
+            "speedup": ratio,
+        }
+        if ratio < 1.0 - REGRESSION_WARN_FRACTION:
+            warnings.append(
+                f"warning: aggregate iterations/s dropped "
+                f"{(1.0 - ratio) * 100:.0f}% vs baseline "
+                f"({base_agg['iters_per_s']:.0f} -> "
+                f"{current['aggregate']['iters_per_s']:.0f})"
+            )
+    return summary, warnings
+
+
+def format_bench_table(result: dict) -> str:
+    """Human-readable summary of a bench result."""
+    lines = [
+        f"suite: {result['suite']}   repro {result['repro_version']}",
+        f"{'scenario':<18} {'runs':>4} {'wall s':>8} {'iters':>8} "
+        f"{'iters/s':>9} {'sim-s/wall-s':>13}",
+    ]
+    for row in result["scenarios"]:
+        lines.append(
+            f"{row['name']:<18} {row['runs']:>4} {row['wall_s']:>8.2f} "
+            f"{row['iterations']:>8} {row['iters_per_s']:>9.0f} "
+            f"{row['sim_s_per_wall_s']:>13.2f}"
+        )
+    agg = result["aggregate"]
+    lines.append(
+        f"{'aggregate':<18} {'':>4} {agg['wall_s']:>8.2f} "
+        f"{agg['iterations']:>8} {agg['iters_per_s']:>9.0f} "
+        f"{agg['sim_s_per_wall_s']:>13.2f}"
+    )
+    baseline = result.get("baseline")
+    if baseline and baseline.get("comparable") and "aggregate" in baseline:
+        lines.append(
+            f"vs baseline: {baseline['aggregate']['speedup']:.2f}x aggregate "
+            f"iterations/s "
+            f"({baseline['aggregate']['baseline_iters_per_s']:.0f} -> "
+            f"{baseline['aggregate']['iters_per_s']:.0f})"
+        )
+    return "\n".join(lines)
+
+
+def load_result(path: str) -> dict:
+    """Read a bench-result JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)

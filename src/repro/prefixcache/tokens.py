@@ -33,6 +33,25 @@ _COLD_TAG = 0x434F4C44  # "COLD"
 #: Root of every block-key hash chain.
 _CHAIN_ROOT = 0x50464358  # "PFCX"
 
+#: Memoized token streams, one list per namespace: token ``j`` of a
+#: namespace is the pure function ``mix(namespace, j)``, and session
+#: workloads re-walk the same shared streams (system prompt, per-session
+#: history) once per turn — the memo turns those re-walks into list
+#: reads.  Bounded: cleared wholesale if an extreme workload accumulates
+#: too many namespaces.
+_STREAM_CACHE: dict[int, list[int]] = {}
+_STREAM_CACHE_CAP = 65_536
+
+
+def _stream(namespace: int) -> list[int]:
+    """The (growable) memoized token stream for a namespace."""
+    stream = _STREAM_CACHE.get(namespace)
+    if stream is None:
+        if len(_STREAM_CACHE) >= _STREAM_CACHE_CAP:
+            _STREAM_CACHE.clear()
+        stream = _STREAM_CACHE[namespace] = []
+    return stream
+
 
 def request_segments(req) -> tuple[tuple[int, int], ...]:
     """The request's prompt segments (private per-rid stream if unset)."""
@@ -80,27 +99,59 @@ def block_keys(ids: Sequence[int], block_size: int) -> list[int]:
     return keys
 
 
+#: Memoized block-key chains, keyed by the stream identity they digest:
+#: the fixed (namespace, length) segments plus the extending final
+#: namespace and the block size.  Two requests with the same key walk the
+#: *same* infinite token stream (streams are pure functions of their
+#: namespaces), so a session's turn k+1 — whose prompt strictly extends
+#: turn k's prompt + answer — resumes the chain where the previous turn
+#: left off instead of re-hashing the whole shared prefix every turn.
+_CHAIN_CACHE: dict[tuple, list] = {}
+_CHAIN_CACHE_CAP = 65_536
+
+
 def request_block_keys(req, n_tokens: int, block_size: int) -> list[int]:
     """Block keys for the request's first ``n_tokens``, chained incrementally.
 
-    A request's keys are queried up to three times over its lifetime
-    (admission match, prefill-complete commit, finish commit) at
-    monotonically growing lengths; the hash chain is therefore resumed
-    from the request's cached state instead of re-mixed from position 0
-    each call.  The cache lives on the request instance, which is private
-    to one simulation run.
+    Keys are queried repeatedly over a request's lifetime (admission
+    match, prefill-complete commit, finish commit) at monotonically
+    growing lengths, and re-queried by every later turn of the same
+    session over the shared stream; the hash chain is resumed from the
+    memoized state (see :data:`_CHAIN_CACHE`) instead of re-mixed from
+    position 0 each time.
     """
-    state = getattr(req, "_prefix_chain", None)
-    if state is None or state[0] != block_size:
-        state = (block_size, 0, _CHAIN_ROOT, [])
-    _, consumed, h, keys = state
+    segments = request_segments(req)
+    chain_key = (block_size, segments[:-1], segments[-1][0])
+    state = _CHAIN_CACHE.get(chain_key)
+    if state is None:
+        if len(_CHAIN_CACHE) >= _CHAIN_CACHE_CAP:
+            _CHAIN_CACHE.clear()
+        state = _CHAIN_CACHE[chain_key] = [0, _CHAIN_ROOT, []]
+    consumed, h, keys = state
     if n_tokens > consumed:
-        segments = request_segments(req)
-        for pos in range(consumed, n_tokens):
-            h = mix(h, _token_at(segments, pos))
-            if (pos + 1) % block_size == 0:
-                keys.append(h)
-        req._prefix_chain = (block_size, n_tokens, h, keys)
+        # Walk segment by segment (instead of a per-position segment
+        # scan), reading token ids from the per-namespace stream memo.
+        n_seg = len(segments)
+        pos = consumed
+        offset = 0
+        append_key = keys.append
+        for i, (namespace, length) in enumerate(segments):
+            end = n_tokens if i == n_seg - 1 else min(offset + length, n_tokens)
+            if pos < end:
+                stream = _stream(namespace)
+                upto = end - offset
+                while len(stream) < upto:
+                    stream.append(mix(namespace, len(stream)))
+                for j in range(pos - offset, upto):
+                    h = mix(h, stream[j])
+                    pos += 1
+                    if pos % block_size == 0:
+                        append_key(h)
+            offset += length
+            if pos >= n_tokens:
+                break
+        state[0] = n_tokens
+        state[1] = h
     return keys[: n_tokens // block_size]
 
 

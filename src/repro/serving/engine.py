@@ -27,6 +27,7 @@ from repro.hardware.cuda_graph import CudaGraphModel
 from repro.prefixcache.tokens import request_block_keys
 from repro.hardware.roofline import RooflineModel
 from repro.model.pair import ModelPair
+from repro.model.stochastic_lm import PREFETCH_MIN_BATCH
 from repro.serving.kv_cache import KVCacheManager
 from repro.serving.request import Request, RequestState
 
@@ -182,18 +183,38 @@ class SimulatedEngine:
     # ------------------------------------------------------------------
     # Plain autoregressive decode
     # ------------------------------------------------------------------
-    def decode(self, requests: list[Request], now: float) -> float:
-        """One autoregressive decoding iteration; returns latency."""
+    def decode(
+        self, requests: list[Request], now: float, context_tokens: int | None = None
+    ) -> float:
+        """One autoregressive decoding iteration; returns latency.
+
+        ``context_tokens`` (the batch's summed KV residency) may be
+        passed by schedulers that already walked the batch this
+        iteration — e.g. during KV admission — so the engine does not
+        re-sum it; ``None`` computes it here.
+        """
         if not requests:
             raise ValueError("empty decode batch")
-        context = sum(r.kv_tokens for r in requests)
+        context = (
+            sum(r.kv_tokens for r in requests)
+            if context_tokens is None
+            else context_tokens
+        )
         latency = self.target_roofline.forward_latency(len(requests), context)
         latency += self.step_overhead_s
         end = now + latency
+        if len(requests) >= PREFETCH_MIN_BATCH:
+            # One vectorized pass generates the whole batch's next-token
+            # distributions (bit-identical; see repro.model.batchgen).
+            self.pair.target.prefetch(
+                [(r.ctx, r.predictability) for r in requests]
+            )
+        target_sample = self.pair.target_sample
+        extend = self.pair.extend
         for req in requests:
-            tok = self.pair.target_sample(req.ctx, req.predictability)
-            new_ctx = self.pair.extend(req.ctx, tok)
-            req.commit_tokens(1, new_ctx, end)
+            ctx = req.ctx
+            tok = target_sample(ctx, req.predictability)
+            req.commit_tokens(1, extend(ctx, tok), end)
         self.phase_times.decode_s += latency
         self.iterations += 1
         return latency
@@ -203,6 +224,7 @@ class SimulatedEngine:
         decode_requests: list[Request],
         prefill_chunks: list[tuple[Request, int]],
         now: float,
+        decode_context_tokens: int | None = None,
     ) -> float:
         """One co-batched iteration: decode tokens + prefill chunks.
 
@@ -210,21 +232,33 @@ class SimulatedEngine:
         prompt-chunk compute.  Latency is a single forward pass over all
         batched tokens; busy time is split between the prefill and decode
         phases in proportion to their token counts.
+        ``decode_context_tokens`` works as in :meth:`decode`.
         """
         if not decode_requests and not prefill_chunks:
             raise ValueError("empty mixed step")
         decode_tokens = len(decode_requests)
         chunk_tokens = sum(t for _, t in prefill_chunks)
-        context = sum(r.kv_tokens for r in decode_requests)
+        context = (
+            sum(r.kv_tokens for r in decode_requests)
+            if decode_context_tokens is None
+            else decode_context_tokens
+        )
         context += sum(req.prefilled + t // 2 for req, t in prefill_chunks)
         latency = self.target_roofline.forward_latency(
             decode_tokens + chunk_tokens, context
         )
         latency += self.step_overhead_s
         end = now + latency
+        if decode_tokens >= PREFETCH_MIN_BATCH:
+            self.pair.target.prefetch(
+                [(r.ctx, r.predictability) for r in decode_requests]
+            )
+        target_sample = self.pair.target_sample
+        extend = self.pair.extend
         for req in decode_requests:
-            tok = self.pair.target_sample(req.ctx, req.predictability)
-            req.commit_tokens(1, self.pair.extend(req.ctx, tok), end)
+            ctx = req.ctx
+            tok = target_sample(ctx, req.predictability)
+            req.commit_tokens(1, extend(ctx, tok), end)
         for req, tokens in prefill_chunks:
             req.advance_prefill(tokens)
             if req.remaining_prompt == 0:
@@ -264,7 +298,7 @@ class SimulatedEngine:
 
         Used by vLLM-Spec-style baselines (chain speculation).
         """
-        return self.draft_cost(tuple(batch for _ in range(steps)), context_tokens)
+        return self.draft_cost((batch,) * steps, context_tokens)
 
     def verify_cost(
         self,

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Callable
 
 
 class RequestState(enum.Enum):
@@ -74,6 +75,13 @@ class Request:
     accepted_draft_tokens: int = 0
     token_times: list[float] = field(default_factory=list)
     record_token_times: bool = False
+    #: Called (with the request) the instant generation completes.  Set
+    #: by the owning scheduler so finished-request bookkeeping stays
+    #: incremental (no per-iteration pool rescans); excluded from
+    #: equality so instrumented and plain requests compare identically.
+    on_finish: "Callable[[Request], None] | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.prompt_len < 1:
@@ -184,6 +192,8 @@ class Request:
         if self.n_generated >= self.max_new_tokens:
             self.state = RequestState.FINISHED
             self.finish_time = now
+            if self.on_finish is not None:
+                self.on_finish(self)
 
     def preempt(self, drop_kv: bool) -> None:
         """Pause the request; optionally drop its KV (forces re-prefill)."""
@@ -246,6 +256,47 @@ class Request:
         start = self.decode_start if self.decode_start is not None else now
         elapsed = max(0.0, now - start)
         return (elapsed + iteration_latency) / self.tpot_slo - self.n_generated
+
+    # ------------------------------------------------------------------
+    # Cloning
+    # ------------------------------------------------------------------
+    def fresh_copy(self) -> "Request":
+        """A pristine copy of this request for a new run.
+
+        Copies the static workload fields and resets every runtime field
+        to its construction default.  Bypasses ``__init__`` (the fields
+        were validated when this request was built), so harness sweeps —
+        which clone every request once per run — pay one attribute sweep
+        instead of dataclass construction + re-validation.
+        """
+        clone = object.__new__(Request)
+        clone.rid = self.rid
+        clone.category = self.category
+        clone.arrival_time = self.arrival_time
+        clone.prompt_len = self.prompt_len
+        clone.max_new_tokens = self.max_new_tokens
+        clone.tpot_slo = self.tpot_slo
+        clone.predictability = self.predictability
+        clone.priority = self.priority
+        clone.session_id = self.session_id
+        clone.turn_index = self.turn_index
+        clone.prompt_segments = self.prompt_segments
+        clone.state = RequestState.QUEUED
+        clone.prefilled = 0
+        clone.ctx = 0
+        clone.n_generated = 0
+        clone.decode_start = None
+        clone.first_token_time = None
+        clone.last_token_time = None
+        clone.finish_time = None
+        clone.preempt_count = 0
+        clone.cached_prompt_tokens = 0
+        clone.verify_steps = 0
+        clone.accepted_draft_tokens = 0
+        clone.token_times = []
+        clone.record_token_times = False
+        clone.on_finish = None
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

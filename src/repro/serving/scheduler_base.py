@@ -54,13 +54,27 @@ class Scheduler(abc.ABC):
         self.waiting: deque[Request] = deque()
         self.running: list[Request] = []
         self.finished: list[Request] = []
+        #: Requests in ``running`` that completed generation but have not
+        #: been retired yet (maintained via ``Request.on_finish``, so
+        #: ``has_work`` never rescans the pool).
+        self._finished_in_running = 0
+        #: Summed KV residency of the batch returned by the last
+        #: :meth:`_ensure_kv_for_decode` call — the decode context the
+        #: engine would otherwise re-sum.
+        self._last_decode_context = 0
 
     # ------------------------------------------------------------------
     # Simulator-facing interface
     # ------------------------------------------------------------------
     def admit(self, req: Request) -> None:
         """A request arrived; queue it."""
+        req.on_finish = self._note_finished
         self.waiting.append(req)
+
+    def _note_finished(self, req: Request) -> None:
+        """Finish hook: every commit site runs while the request is in
+        ``running``, so counting here keeps ``has_work`` O(1)."""
+        self._finished_in_running += 1
 
     def _lock_prefix(self, req: Request) -> int:
         """Match the request's prompt against cached prefix blocks.
@@ -111,9 +125,10 @@ class Scheduler(abc.ABC):
         """Whether an iteration can make progress.
 
         Finished requests may linger in ``running`` until the next step's
-        retirement pass; they do not constitute work.
+        retirement pass; they do not constitute work.  O(1): the lingering
+        count is maintained by the finish hook instead of rescanned.
         """
-        return bool(self.waiting) or any(not r.is_finished for r in self.running)
+        return bool(self.waiting) or len(self.running) > self._finished_in_running
 
     @abc.abstractmethod
     def step(self, now: float) -> float:
@@ -136,6 +151,8 @@ class Scheduler(abc.ABC):
 
     def _retire_finished(self) -> None:
         """Move finished requests out of the running set, freeing KV."""
+        if self._finished_in_running == 0:
+            return
         still_running: list[Request] = []
         for req in self.running:
             if req.is_finished:
@@ -144,6 +161,7 @@ class Scheduler(abc.ABC):
             else:
                 still_running.append(req)
         self.running = still_running
+        self._finished_in_running = 0
 
     def _admit_capacity(self) -> int:
         """Decode slots available for newly prefilled requests."""
@@ -207,37 +225,76 @@ class Scheduler(abc.ABC):
 
         Victims (newest arrivals first) are evicted with KV dropped and
         re-queued for recomputation.  Returns the surviving batch.
+
+        Bookkeeping is identity-based (rids are unique within a run) so
+        the common no-pressure case is one ``kv.ensure`` per request with
+        no quadratic membership scans; the batch's summed KV residency is
+        accumulated along the way into ``_last_decode_context`` so
+        callers can hand it to the engine instead of re-summing.
         """
+        kv = self.engine.kv
         survivors = list(batch)
-        for req in list(survivors):
-            if req not in survivors:
+        evicted: set[int] = set()
+        context_tokens = 0
+        contributions: dict[int, int] = {}
+        # Victims are the newest arrivals among current survivors; the
+        # descending-arrival index is built lazily on first KV pressure
+        # (stable sort ⇒ ties resolve to batch order, exactly as the old
+        # linear max() scan did) and consumed front to back.
+        victim_order: list[Request] | None = None
+        for req in batch:
+            if req.rid in evicted:
                 continue  # already evicted as somebody's victim
             while True:
                 try:
-                    self.engine.kv.ensure(req.rid, req.kv_tokens + extra_tokens)
+                    kv.ensure(req.rid, req.kv_tokens + extra_tokens)
+                    tokens = req.kv_tokens
+                    contributions[req.rid] = tokens
+                    context_tokens += tokens
                     break
                 except OutOfKVCache:
-                    victim = self._pick_preemption_victim(survivors, req)
-                    if victim is None:
-                        survivors.remove(req)
+                    if victim_order is None:
+                        victim_order = sorted(
+                            survivors, key=lambda r: r.arrival_time, reverse=True
+                        )
+                    while victim_order and victim_order[0].rid in evicted:
+                        victim_order.pop(0)
+                    victim = victim_order[0] if victim_order else None
+                    if victim is req:
+                        # ``req`` is only its own victim of last resort:
+                        # prefer the newest *other* survivor, as the old
+                        # max() over candidates-excluding-needy did.
+                        victim = next(
+                            (r for r in victim_order[1:] if r.rid not in evicted),
+                            req,
+                        )
+                    if victim is None:  # pragma: no cover - defensive
+                        evicted.add(req.rid)
+                        self._remove_by_identity(survivors, req)
                         break
                     self.engine.preempt(victim, drop_kv=True)
-                    survivors.remove(victim)
-                    if victim in self.running:
-                        self.running.remove(victim)
+                    evicted.add(victim.rid)
+                    self._remove_by_identity(survivors, victim)
+                    self._remove_by_identity(self.running, victim)
                     self.waiting.appendleft(victim)
+                    context_tokens -= contributions.pop(victim.rid, 0)
                     if victim is req:
                         break
+        self._last_decode_context = context_tokens
         return survivors
 
-    def _pick_preemption_victim(
-        self, batch: list[Request], needy: Request
-    ) -> Request | None:
-        """Choose a request to evict under KV pressure (newest arrival)."""
-        candidates = [r for r in batch if r is not needy]
-        if not candidates:
-            return needy if needy in batch else None
-        return max(candidates, key=lambda r: r.arrival_time)
+    @staticmethod
+    def _remove_by_identity(pool: list[Request], req: Request) -> bool:
+        """Drop ``req`` (the exact object) from ``pool`` if present.
+
+        ``list.remove`` would compare every dataclass field per element;
+        identity is what membership means here and is ~free.
+        """
+        for i, candidate in enumerate(pool):
+            if candidate is req:
+                del pool[i]
+                return True
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -308,11 +308,17 @@ class TestFleetSimulator:
     def test_routable_fallback_prefers_warming_over_draining(self):
         fleet = make_fleet(fleet_workload(n=5), RoundRobinRouter(), replicas=2)
         draining, warming = fleet.replicas
-        draining.draining = True
+        # Drive the transitions through the fleet's bookkeeping (the
+        # routable pool is maintained incrementally): drain replica 0,
+        # and re-home replica 1 as a pending warm-up — the state _spawn
+        # puts autoscaled additions in.
+        fleet._drain(draining)
         warming.available_at = warming.local_now = 50.0
+        fleet._pool.clear()
+        fleet._warming.append(warming)
         assert fleet._routable(10.0) == [warming]
         # Only drainers left: still never drop a request.
-        warming.draining = True
+        fleet._drain(warming)
         assert fleet._routable(10.0) == [draining, warming]
 
     def test_rejects_empty_fleet(self):

@@ -1,0 +1,123 @@
+"""Golden-equivalence digests for the optimized simulation loops.
+
+PR 5 rewrote the hot simulation paths (fleet event heap, memoized cost
+model, incremental scheduler bookkeeping, single-sort metrics) under a
+hard constraint: **every fixed-seed run stays byte-identical** to the
+unoptimized implementation.  These tests pin that guarantee.
+
+Each scenario below was executed on the pre-optimization code and its
+strict-JSON report export (``report_to_json`` — sorted keys, no NaN
+tokens, every aggregate and per-category statistic) hashed with SHA-256.
+The digests are committed; the optimized loops must reproduce them
+byte-for-byte.  A digest mismatch means an "optimization" changed
+simulation semantics — floats included — and must not ship.
+
+If simulator *semantics* change intentionally in a future PR, recompute
+the digests with ``python -m tests.test_golden_equivalence`` (this module
+is runnable) and say so in the PR description.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.analysis.export import report_to_json
+from repro.analysis.runner import run_spec
+from repro.analysis.spec import ExperimentSpec
+
+
+def _digest(spec: ExperimentSpec) -> str:
+    """SHA-256 of the run's strict-JSON export (fresh engines, no cache)."""
+    report = run_spec(spec)
+    return hashlib.sha256(report_to_json(report).encode("utf-8")).hexdigest()
+
+
+def _spec(**kw) -> ExperimentSpec:
+    kw.setdefault("model", "llama70b")
+    kw.setdefault("seed", 0)
+    return ExperimentSpec.create(**kw)
+
+
+#: (scenario name, spec kwargs, digest of the unoptimized implementation).
+GOLDEN = [
+    (
+        "solo-vllm",
+        dict(system="vllm", rps=5.0, duration_s=12.0, trace="bursty"),
+        "68c346f1c37abee76316f77bbfbb2da8c0c443047176863d7551b24664e65fb2",
+    ),
+    (
+        "solo-adaserve",
+        dict(system="adaserve", rps=4.0, duration_s=10.0, trace="bursty"),
+        "4c349363b08ce596295f6fddcb981a0fcc2bcc13ebda511186d9d5d66e217239",
+    ),
+    (
+        "solo-sarathi-qwen",
+        dict(model="qwen32b", system="sarathi", rps=4.0, duration_s=10.0, trace="steady", seed=3),
+        "97eb0d3af954ad1deff1888a834a61bf0e16d329bec336763e4750f6e9fcaf31",
+    ),
+    (
+        "solo-vllm-spec",
+        dict(system="vllm-spec:k=4", rps=4.0, duration_s=10.0, trace="phased", seed=1),
+        "630583d5d16bf6bb907b774de287292928e9797528386bf63e992ba536ef5033",
+    ),
+    (
+        "fleet-least-loaded",
+        dict(system="vllm", rps=12.0, duration_s=12.0, trace="diurnal", replicas=3, router="least-loaded"),
+        "36675868d05cd8155e22e1678ddb97106b30179fb248ae49b24ae272d3def100",
+    ),
+    (
+        "fleet-autoscale-p2c",
+        dict(
+            system="vllm",
+            rps=14.0,
+            duration_s=12.0,
+            trace="bursty",
+            replicas=2,
+            router="p2c",
+            autoscale={"max_replicas": 4, "warmup_s": 2.0},
+            seed=2,
+        ),
+        "80297b2bdc85fc63fada7bf54796337cecc033d93881112784de808c2079cc20",
+    ),
+    (
+        "sessions-prefix-cache",
+        dict(system="vllm", rps=6.0, duration_s=12.0, trace="sessions", prefix_cache=True),
+        "2fb5b5cb4cb4c12ef29ed4ab739624feb829fd94093f5663c0692b6126d55c57",
+    ),
+    (
+        "sessions-prefix-affinity-fleet",
+        dict(
+            system="vllm",
+            rps=8.0,
+            duration_s=12.0,
+            trace="sessions:turns=4,think_time=2.0",
+            prefix_cache=True,
+            replicas=2,
+            router="prefix-affinity",
+            seed=1,
+        ),
+        "3e2f2183135a5f34d2c6346760f0b85d0ebe3a572b2fa657f3024bb7c5075917",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name,kwargs,expected", GOLDEN, ids=[name for name, _, _ in GOLDEN]
+)
+def test_golden_digest(name: str, kwargs: dict, expected: str) -> None:
+    """The optimized loops reproduce the unoptimized export, byte for byte."""
+    assert _digest(_spec(**kwargs)) == expected, (
+        f"scenario {name!r} diverged from the pre-optimization golden digest; "
+        "a performance change altered simulation semantics"
+    )
+
+
+def _main() -> None:  # pragma: no cover - digest (re)generation helper
+    for name, kwargs, _ in GOLDEN:
+        print(f'    "{_digest(_spec(**kwargs))}",  # {name}')
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _main()

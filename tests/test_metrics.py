@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.serving.metrics import compute_metrics, violation_reduction
+from repro.serving.metrics import (
+    _percentile,
+    _percentile_sorted,
+    compute_metrics,
+    violation_reduction,
+)
 from tests.conftest import make_request
 
 
@@ -19,6 +24,50 @@ def finished_request(rid, category="coding", arrival=0.0, slo=0.05, tokens=10, d
     req.begin_decode(1, start)
     req.commit_tokens(tokens, 2, start + duration)
     return req
+
+
+class TestPercentile:
+    """The sort-once fast path must match nearest-rank on the raw list.
+
+    ``compute_metrics`` used to call ``_percentile`` (which sorts) four
+    times per category sample; it now sorts once and indexes through
+    ``_percentile_sorted``.  Both must agree for every quantile — and
+    ``_percentile`` itself must be order-insensitive.
+    """
+
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [0.3],
+            [0.5, 0.1],
+            [0.9, 0.1, 0.5, 0.5, 0.2],
+            [float(i % 7) * 0.01 for i in range(100)],
+            [0.25] * 10,  # all ties
+        ],
+    )
+    @pytest.mark.parametrize("q", [0.0, 1.0, 50.0, 90.0, 99.0, 100.0])
+    def test_sorted_fast_path_matches(self, values, q):
+        assert _percentile_sorted(sorted(values), q) == _percentile(values, q)
+
+    @pytest.mark.parametrize("q", [0.0, 50.0, 99.0, 100.0])
+    def test_percentile_on_presorted_input_unchanged(self, q):
+        # Old behavior: _percentile(sorted list) — sorting a sorted list
+        # is the identity, so the result must be unchanged.
+        values = [0.05, 0.1, 0.1, 0.2, 0.4, 0.9]
+        assert _percentile(values, q) == _percentile(sorted(values), q)
+
+    def test_nearest_rank_definition(self):
+        values = [0.4, 0.1, 0.2, 0.3]
+        # rank = ceil(q/100 * 4): q=50 -> rank 2 -> 0.2; q=99 -> rank 4.
+        assert _percentile(values, 50.0) == 0.2
+        assert _percentile(values, 99.0) == 0.4
+        assert _percentile(values, 0.0) == 0.1  # rank floors at 1
+
+    def test_empty_inputs_are_nan(self):
+        import math
+
+        assert math.isnan(_percentile([], 50.0))
+        assert math.isnan(_percentile_sorted([], 50.0))
 
 
 class TestComputeMetrics:

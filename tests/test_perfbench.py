@@ -1,0 +1,102 @@
+"""Unit tests for the perf-tracking subsystem (repro.perfbench).
+
+The suite execution itself is covered by the benchmark smoke job (it
+runs real simulations); here we pin the cheap pure parts: suite
+composition, the stable result schema, and the baseline comparison /
+regression-warning logic.
+"""
+
+from __future__ import annotations
+
+from repro.perfbench import build_suite, compare_to_baseline
+from repro.perfbench.suite import BENCH_SCHEMA_VERSION
+
+
+def _result(names_and_rates, suite="full"):
+    return {
+        "bench_schema": BENCH_SCHEMA_VERSION,
+        "suite": suite,
+        "scenarios": [
+            {"name": name, "iters_per_s": rate} for name, rate in names_and_rates
+        ],
+        "aggregate": {
+            "iters_per_s": sum(rate for _, rate in names_and_rates)
+            / max(1, len(names_and_rates))
+        },
+    }
+
+
+class TestSuiteComposition:
+    def test_standard_scenarios(self):
+        suite = build_suite(quick=False)
+        assert [s.name for s in suite] == [
+            "solo-adaserve",
+            "fleet-4r",
+            "sessions-prefix",
+            "sweep-12pt",
+        ]
+        by_name = {s.name: s for s in suite}
+        assert len(by_name["sweep-12pt"].specs) == 12
+        assert by_name["fleet-4r"].specs[0].cluster.replicas == 4
+        assert by_name["sessions-prefix"].specs[0].system.prefix_cache
+
+    def test_quick_uses_same_scenarios_shorter_traces(self):
+        full = build_suite(quick=False)
+        quick = build_suite(quick=True)
+        assert [s.name for s in quick] == [s.name for s in full]
+        for fs, qs in zip(full, quick):
+            assert len(fs.specs) == len(qs.specs)
+            for f, q in zip(fs.specs, qs.specs):
+                assert q.workload.duration_s < f.workload.duration_s
+
+
+class TestBaselineComparison:
+    def test_no_warning_when_faster(self):
+        current = _result([("a", 200.0), ("b", 300.0)])
+        baseline = _result([("a", 100.0), ("b", 150.0)])
+        summary, warnings = compare_to_baseline(current, baseline)
+        assert summary["comparable"]
+        assert warnings == []
+        assert summary["aggregate"]["speedup"] == 2.0
+        assert summary["per_scenario"]["a"]["speedup"] == 2.0
+
+    def test_warns_on_30_percent_drop(self):
+        current = _result([("a", 60.0)])
+        baseline = _result([("a", 100.0)])
+        _, warnings = compare_to_baseline(current, baseline)
+        assert any("dropped" in w for w in warnings)
+
+    def test_no_warning_within_threshold(self):
+        current = _result([("a", 80.0)])
+        baseline = _result([("a", 100.0)])
+        _, warnings = compare_to_baseline(current, baseline)
+        assert warnings == []
+
+    def test_suite_mismatch_is_flagged_but_compared(self):
+        current = _result([("a", 100.0)], suite="quick")
+        baseline = _result([("a", 100.0)], suite="full")
+        summary, warnings = compare_to_baseline(current, baseline)
+        assert summary["comparable"]
+        assert any("suite" in w for w in warnings)
+
+    def test_embedded_sibling_suite_is_preferred(self):
+        current = _result([("a", 100.0)], suite="quick")
+        baseline = _result([("a", 400.0)], suite="full")
+        baseline["quick"] = _result([("a", 100.0)], suite="quick")
+        summary, warnings = compare_to_baseline(current, baseline)
+        assert warnings == []  # compared against the embedded quick run
+        assert summary["per_scenario"]["a"]["speedup"] == 1.0
+
+    def test_schema_mismatch_skips_comparison(self):
+        current = _result([("a", 100.0)])
+        baseline = _result([("a", 100.0)])
+        baseline["bench_schema"] = -1
+        summary, warnings = compare_to_baseline(current, baseline)
+        assert not summary["comparable"]
+        assert warnings
+
+    def test_unknown_scenarios_are_ignored(self):
+        current = _result([("new-scenario", 10.0)])
+        baseline = _result([("old-scenario", 99.0)])
+        summary, warnings = compare_to_baseline(current, baseline)
+        assert summary["per_scenario"] == {}

@@ -20,12 +20,16 @@ class TestPoolMachinery:
         assert s.has_work()
 
     def test_has_work_ignores_finished(self, engine):
+        # Requests enter the pool through admit() (which installs the
+        # finish hook keeping has_work O(1)) and finish while running.
         s = VLLMScheduler(engine)
         req = make_request(max_new_tokens=1)
+        s.admit(req)
+        s.waiting.popleft()
         req.advance_prefill(req.prompt_len)
         req.begin_decode(1, 0.0)
-        req.commit_tokens(1, 2, 0.1)
         s.running.append(req)
+        req.commit_tokens(1, 2, 0.1)
         assert not s.has_work()
 
     def test_prefill_iteration_moves_to_running(self, engine):
@@ -58,11 +62,13 @@ class TestPoolMachinery:
     def test_retire_finished_frees_kv(self, engine):
         s = VLLMScheduler(engine)
         req = make_request(rid=1, max_new_tokens=1)
+        s.admit(req)
+        s.waiting.popleft()
         engine.kv.ensure(1, 10)
         req.advance_prefill(req.prompt_len)
         req.begin_decode(1, 0.0)
-        req.commit_tokens(1, 2, 0.1)
         s.running.append(req)
+        req.commit_tokens(1, 2, 0.1)
         s._retire_finished()
         assert s.finished == [req]
         assert not engine.kv.holds(1)
