@@ -49,7 +49,13 @@ from pathlib import Path
 #: The knob is canonicalized like every section field (an explicit
 #: ``prefix_cache=False`` and the default are one key), so v4 non-session
 #: configs never fork on it.
-SCHEMA_VERSION = 4
+#: 5: chaos subsystem — an optional ``chaos`` config section (omitted
+#: when no faults are declared, so chaos-free keys canonicalize exactly
+#: as in v4), chaos/disruption keys in record reports (present only for
+#: chaos runs).  Report *exports* keep their own pinned version (see
+#: ``repro.analysis.export.REPORT_SCHEMA_VERSION``): a chaos-free export
+#: is byte-identical to a v4 one.
+SCHEMA_VERSION = 5
 
 #: Default on-disk location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"

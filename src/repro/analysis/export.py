@@ -14,10 +14,17 @@ import math
 from typing import Iterable
 
 from repro import __version__
-from repro.analysis.cache import SCHEMA_VERSION, ResultCache
+from repro.analysis.cache import ResultCache
 from repro.analysis.report import SeriesPoint
 from repro.serving.metrics import CategoryMetrics, RunMetrics
 from repro.serving.server import SimulationReport
+
+#: Version stamped into exported report/point files.  Pinned separately
+#: from the result cache's ``SCHEMA_VERSION``: cache schema 5 only added
+#: the optional config-side chaos section and feature-gated report keys,
+#: leaving chaos-free exports byte-identical to v4 — and golden report
+#: digests (tests/test_golden_equivalence.py) hash this payload.
+REPORT_SCHEMA_VERSION = 4
 
 
 def _nan_to_null(value: float) -> float | None:
@@ -54,6 +61,17 @@ def metrics_to_dict(metrics: RunMetrics) -> dict:
         "prefix_hit_requests": metrics.prefix_hit_requests,
         "prefix_hit_rate": metrics.prefix_hit_rate,
         "prefill_tokens_saved": metrics.prefill_tokens_saved,
+        # Chaos disruption counters ride along only when a fault actually
+        # disrupted something, keeping chaos-free payloads byte-identical
+        # to their pre-chaos form (golden digests hash this dict).
+        **(
+            {
+                "requests_disrupted": metrics.requests_disrupted,
+                "requests_lost": metrics.requests_lost,
+            }
+            if metrics.requests_disrupted
+            else {}
+        ),
         "per_category": {
             name: {
                 "num_requests": cm.num_requests,
@@ -101,18 +119,27 @@ def metrics_from_dict(d: dict) -> RunMetrics:
         mean_ttft_s=d.get("mean_ttft_s"),
         prefix_hit_requests=d.get("prefix_hit_requests", 0),
         prefill_tokens_saved=d.get("prefill_tokens_saved", 0),
+        requests_disrupted=d.get("requests_disrupted", 0),
+        requests_lost=d.get("requests_lost", 0),
     )
 
 
 def report_to_dict(report: SimulationReport) -> dict:
-    """Serialize a simulation report (without per-request detail)."""
-    return {
+    """Serialize a simulation report (without per-request detail).
+
+    The ``chaos`` incident report is emitted only when present, so
+    chaos-free payloads (and their golden digests) are unchanged.
+    """
+    d = {
         "scheduler": report.scheduler_name,
         "sim_time_s": report.sim_time_s,
         "iterations": report.iterations,
         "phase_breakdown": dict(report.phase_breakdown),
         "metrics": metrics_to_dict(report.metrics),
     }
+    if report.chaos is not None:
+        d["chaos"] = report.chaos
+    return d
 
 
 def report_from_dict(d: dict) -> SimulationReport:
@@ -132,6 +159,7 @@ def report_from_dict(d: dict) -> SimulationReport:
         iterations=d["iterations"],
         phase_breakdown=dict(d["phase_breakdown"]),
         requests=[],
+        chaos=d.get("chaos"),
     )
 
 
@@ -142,7 +170,7 @@ def _provenance() -> dict:
     the package that produced them (``repro_version``), so files on disk
     remain interpretable after the simulator moves on.
     """
-    return {"schema_version": SCHEMA_VERSION, "repro_version": __version__}
+    return {"schema_version": REPORT_SCHEMA_VERSION, "repro_version": __version__}
 
 
 def report_to_json(report: SimulationReport, indent: int = 2) -> str:

@@ -21,10 +21,12 @@ replica, for fleets).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, replace
 
 from repro._rng import derive_seed
 from repro import baselines as _baselines  # noqa: F401 - registers the baseline systems
+from repro.chaos import FaultSchedule
 from repro.cluster.autoscaler import AutoscalerConfig
 from repro.cluster.fleet import FleetReport, FleetSimulator
 from repro.cluster.router import make_router
@@ -164,6 +166,7 @@ def run_cluster(
     replicas: int = 2,
     router: str = "round-robin",
     autoscale: dict | None = None,
+    faults: Sequence[str] | None = None,
     max_sim_time_s: float = 7200.0,
     **scheduler_overrides,
 ) -> FleetReport:
@@ -174,7 +177,11 @@ def run_cluster(
     but the whole fleet is a pure function of ``setup.seed``).  Passing
     ``autoscale`` (a mapping of :class:`AutoscalerConfig` overrides)
     enables autoscaling; its ``max_replicas`` defaults to twice the
-    initial fleet when unset.
+    initial fleet when unset.  ``faults`` is a sequence of fault spec
+    strings (``crash:at=120,replica=1``, ``straggler:slow=2.0``, ...)
+    materialized into a deterministic :class:`FaultSchedule` seeded from
+    ``setup.seed`` — fixed-seed chaos runs are byte-identical across
+    repeats.
     """
 
     def replica_factory(index: int):
@@ -186,12 +193,26 @@ def run_cluster(
     if autoscale is not None:
         autoscaler_config = AutoscalerConfig.resolve(autoscale, initial_replicas=replicas)
 
+    fault_schedule = None
+    if faults:
+        # Auto-placed fault times scale with the workload span, and the
+        # schedule seed derives from the run seed: the whole chaos
+        # timeline is a pure function of (spec, seed).
+        window_s = max((r.arrival_time for r in requests), default=0.0)
+        fault_schedule = FaultSchedule.from_specs(
+            faults,
+            seed=derive_seed(setup.seed, "chaos"),
+            window_s=window_s,
+            num_replicas=replicas,
+        )
+
     fleet = FleetSimulator(
         replica_factory,
         _clone_requests(requests),
         make_router(router, seed=derive_seed(setup.seed, "router")),
         num_replicas=replicas,
         autoscaler_config=autoscaler_config,
+        fault_schedule=fault_schedule,
         max_sim_time_s=max_sim_time_s,
     )
     return fleet.run()

@@ -108,6 +108,7 @@ def run_spec(config: ExperimentSpec) -> SimulationReport:
                 if config.cluster.autoscale is not None
                 else None
             ),
+            faults=config.chaos.faults if config.chaos.enabled else None,
             max_sim_time_s=config.system.max_sim_time_s,
         ).summary
     return run_once(

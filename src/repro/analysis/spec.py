@@ -8,7 +8,10 @@ nested sections:
 - :class:`SystemSpec` — what serves it: scheduler spec, model setup,
   simulation-time guard;
 - :class:`ClusterSpec` — at what scale: replica count, router spec,
-  autoscaler knobs.
+  autoscaler knobs;
+- :class:`ChaosSpec` — under what faults: deterministic fault-injection
+  specs (omitted from the canonical form when empty, so chaos-free cache
+  keys are unchanged).
 
 Construction **canonicalizes**: component references are spec strings
 (see :mod:`repro.registry`) rewritten to their canonical form (aliases
@@ -42,7 +45,7 @@ from dataclasses import asdict, dataclass, field, replace
 from repro._rng import derive_seed
 from repro.analysis.cache import config_key
 from repro.cluster.autoscaler import AutoscalerConfig
-from repro.registry import MODELS, ROUTERS, SYSTEMS, TRACES, SpecError
+from repro.registry import FAULTS, MODELS, ROUTERS, SYSTEMS, TRACES, SpecError
 
 
 def _set(obj, **values) -> None:
@@ -164,6 +167,36 @@ class ClusterSpec:
 
 
 @dataclass(frozen=True)
+class ChaosSpec:
+    """Deterministic fault injections for this point (see :mod:`repro.chaos`).
+
+    ``faults`` holds canonical fault spec strings in declaration order —
+    order matters: each declaration's auto draws are seeded by its index.
+    An empty tuple (the default) selects the exact chaos-free simulation
+    paths, and :meth:`ExperimentSpec.to_dict` omits the whole section
+    then, so pre-chaos cache keys and golden digests are untouched.
+    """
+
+    faults: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        raw = self.faults
+        if raw is None:
+            raw = ()
+        elif isinstance(raw, str):
+            raw = (raw,)
+        _set(self, faults=tuple(FAULTS.canonical(spec) for spec in raw))
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault is declared."""
+        return bool(self.faults)
+
+    def to_dict(self) -> dict:
+        return {"faults": list(self.faults)}
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """Complete, canonical description of one simulation point.
 
@@ -175,6 +208,7 @@ class ExperimentSpec:
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     system: SystemSpec = field(default_factory=SystemSpec)
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    chaos: ChaosSpec = field(default_factory=ChaosSpec)
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -193,6 +227,7 @@ class ExperimentSpec:
         replicas: int = 1,
         router: str = "round-robin",
         autoscale: Mapping[str, float] | None = None,
+        faults: Sequence[str] | str | None = None,
     ) -> "ExperimentSpec":
         """Flat-keyword constructor (the historical ``ExperimentConfig.create``).
 
@@ -224,17 +259,18 @@ class ExperimentSpec:
                 router=router,
                 autoscale=tuple(autoscale.items()) if isinstance(autoscale, Mapping) else autoscale,
             ),
+            chaos=ChaosSpec(faults=faults),
         )
 
     @classmethod
     def from_dict(cls, d: Mapping) -> "ExperimentSpec":
         """Rebuild a spec from its canonical JSON form."""
-        unknown = set(d) - {"workload", "system", "cluster"}
+        unknown = set(d) - {"workload", "system", "cluster", "chaos"}
         if unknown:
             raise SpecError(
                 f"not a nested ExperimentSpec dict (unexpected keys {sorted(unknown)}); "
                 "flat schema-v2 configs are not readable — rebuild via "
-                "ExperimentSpec.create(...) (sections: workload, system, cluster)"
+                "ExperimentSpec.create(...) (sections: workload, system, cluster, chaos)"
             )
         w = dict(d.get("workload", {}))
         if w.get("mix") is not None:
@@ -242,20 +278,32 @@ class ExperimentSpec:
         c = dict(d.get("cluster", {}))
         if c.get("autoscale") is not None:
             c["autoscale"] = tuple((k, v) for k, v in c["autoscale"])
+        chaos = dict(d.get("chaos", {}))
+        if chaos.get("faults") is not None:
+            chaos["faults"] = tuple(chaos["faults"])
         return cls(
             workload=WorkloadSpec(**w),
             system=SystemSpec(**dict(d.get("system", {}))),
             cluster=ClusterSpec(**c),
+            chaos=ChaosSpec(**chaos),
         )
 
     # -- canonical JSON / cache key -------------------------------------
     def to_dict(self) -> dict:
-        """Canonical nested JSON form (the cache-key payload)."""
-        return {
+        """Canonical nested JSON form (the cache-key payload).
+
+        Defaulted-knob canonicalization: the ``chaos`` section appears
+        only when faults are declared, so every chaos-free spec keeps
+        the exact payload (and cache key) it had before chaos existed.
+        """
+        d = {
             "workload": self.workload.to_dict(),
             "system": self.system.to_dict(),
             "cluster": self.cluster.to_dict(),
         }
+        if self.chaos.enabled:
+            d["chaos"] = self.chaos.to_dict()
+        return d
 
     def digest(self) -> str:
         """Content address of this spec (see :func:`~repro.analysis.cache.config_key`)."""
@@ -316,9 +364,17 @@ class ExperimentSpec:
         return self.cluster.autoscale
 
     @property
+    def faults(self) -> tuple[str, ...]:
+        return self.chaos.faults
+
+    @property
     def is_cluster(self) -> bool:
-        """Whether this point runs the fleet path rather than one engine."""
-        return self.cluster.is_cluster
+        """Whether this point runs the fleet path rather than one engine.
+
+        Chaos points always take the fleet path — even with one replica —
+        since fault events ride the fleet event heap.
+        """
+        return self.cluster.is_cluster or self.chaos.enabled
 
     # -- derivation -----------------------------------------------------
     def with_replica(self, index: int) -> "ExperimentSpec":

@@ -1,0 +1,181 @@
+"""Fault components and the deterministic :class:`FaultSchedule`.
+
+Faults are registry components (``repro list faults``) resolved from the
+same ``name:key=value`` spec grammar as systems, traces, and routers:
+
+- ``crash:at=120,replica=1,restart=20`` — kill a replica at t=120s; all
+  of its KV blocks and shared prefix blocks are lost, in-flight requests
+  are re-queued and re-routed, and the replica restarts 20s later with a
+  cold cache.
+- ``straggler:slow=2.0,at=30,duration=40`` — degrade one replica's
+  hardware by a latency multiplier for a window (``duration=auto`` means
+  the rest of the run).
+- ``scale-delay:extra=10`` — autoscaler scale-ups take 10 extra seconds
+  of warmup (slow control plane / cold node pool).
+
+``at`` and ``replica`` default to ``auto``: drawn from a seed derived
+from the *run* seed (``derive_seed(seed, "chaos", declaration_index)``)
+so a fixed-seed run — including its faults — is byte-identical across
+repeats, yet independent fault declarations get independent draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro._rng import derive_seed, hash_seed, randint, uniform
+from repro.registry import FAULTS, Param
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One concrete scheduled fault, ready to ride the fleet event heap.
+
+    ``kind`` is one of ``crash``, ``restart``, ``straggler``,
+    ``straggler-end``, or ``scale-delay``.  ``restart`` and
+    ``straggler-end`` are never declared by users — the fleet appends
+    them while processing a ``crash`` / bounded ``straggler``.
+    """
+
+    at_s: float
+    kind: str
+    replica: int | None = None
+    #: crash only: seconds until the replica rejoins with a cold cache.
+    restart_s: float = 0.0
+    #: straggler only: latency multiplier (> 1 is slower).
+    slow: float = 1.0
+    #: straggler only: degradation window; None = rest of the run.
+    duration_s: float | None = None
+    #: scale-delay only: extra warmup seconds for future scale-ups.
+    extra_s: float = 0.0
+
+
+def _auto_time(h: int, window_s: float) -> float:
+    """Draw an injection time inside the workload's busy middle.
+
+    Uniform over [15%, 75%] of the arrival window, so an auto fault
+    neither fires before any work exists nor after the fleet drained.
+    """
+    return (0.15 + 0.6 * uniform(h, 1)) * window_s
+
+
+def _auto_replica(h: int, num_replicas: int) -> int:
+    return randint(h, 2, 0, max(1, num_replicas))
+
+
+@FAULTS.register(
+    "crash",
+    params=[
+        Param("at", "float", default=None, allow_auto=True, minimum=0.0,
+              help="injection time in seconds (auto = seeded draw)"),
+        Param("replica", "int", default=None, allow_auto=True, minimum=0,
+              help="victim replica index (auto = seeded draw)"),
+        Param("restart", "float", default=20.0, dest="restart_s", minimum=0.0,
+              help="seconds until the replica rejoins, cache cold"),
+    ],
+    summary="kill a replica (KV + prefix cache lost), restart it later",
+)
+@dataclass(frozen=True)
+class CrashFault:
+    at: float | None = None
+    replica: int | None = None
+    restart_s: float = 20.0
+
+    def materialize(self, h: int, window_s: float, num_replicas: int) -> tuple[FaultEvent, ...]:
+        at = self.at if self.at is not None else _auto_time(h, window_s)
+        replica = self.replica if self.replica is not None else _auto_replica(h, num_replicas)
+        return (FaultEvent(at_s=at, kind="crash", replica=replica, restart_s=self.restart_s),)
+
+
+@FAULTS.register(
+    "straggler",
+    params=[
+        Param("slow", "float", default=2.0, minimum=1.0,
+              help="latency multiplier applied to every engine step"),
+        Param("at", "float", default=None, allow_auto=True, minimum=0.0,
+              help="injection time in seconds (auto = seeded draw)"),
+        Param("replica", "int", default=None, allow_auto=True, minimum=0,
+              help="victim replica index (auto = seeded draw)"),
+        Param("duration", "float", default=None, dest="duration_s",
+              allow_auto=True, minimum=0.0,
+              help="degradation window in seconds (auto = rest of run)"),
+    ],
+    summary="degrade one replica's step latency by a slow-factor",
+)
+@dataclass(frozen=True)
+class StragglerFault:
+    slow: float = 2.0
+    at: float | None = None
+    replica: int | None = None
+    duration_s: float | None = None
+
+    def materialize(self, h: int, window_s: float, num_replicas: int) -> tuple[FaultEvent, ...]:
+        at = self.at if self.at is not None else _auto_time(h, window_s)
+        replica = self.replica if self.replica is not None else _auto_replica(h, num_replicas)
+        return (
+            FaultEvent(
+                at_s=at,
+                kind="straggler",
+                replica=replica,
+                slow=self.slow,
+                duration_s=self.duration_s,
+            ),
+        )
+
+
+@FAULTS.register(
+    "scale-delay",
+    params=[
+        Param("extra", "float", default=10.0, dest="extra_s", minimum=0.0,
+              help="extra warmup seconds for every later scale-up"),
+        Param("at", "float", default=0.0, minimum=0.0,
+              help="time the control plane starts lagging"),
+    ],
+    summary="slow control plane: autoscaler scale-ups warm up late",
+)
+@dataclass(frozen=True)
+class ScaleDelayFault:
+    extra_s: float = 10.0
+    at: float = 0.0
+
+    def materialize(self, h: int, window_s: float, num_replicas: int) -> tuple[FaultEvent, ...]:
+        return (FaultEvent(at_s=self.at, kind="scale-delay", extra_s=self.extra_s),)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Materialized fault events for one run, in declaration order.
+
+    Events are *not* pre-sorted: the fleet pushes them onto its event
+    heap, which orders them by time with declaration index as the tie
+    break — exactly the order a repeated run reproduces.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @classmethod
+    def from_specs(
+        cls,
+        specs: Sequence[str],
+        *,
+        seed: int,
+        window_s: float,
+        num_replicas: int,
+    ) -> "FaultSchedule":
+        """Resolve fault spec strings into concrete events.
+
+        ``seed`` should already be derived from the run seed (the
+        harness uses ``derive_seed(run_seed, "chaos")``); each
+        declaration then gets its own sub-seed by index so adding a
+        fault never perturbs the draws of the ones before it.
+        """
+        events: list[FaultEvent] = []
+        for i, spec in enumerate(specs):
+            fault = FAULTS.create(spec)
+            h = hash_seed(derive_seed(seed, i))
+            events.extend(fault.materialize(h, window_s=window_s, num_replicas=num_replicas))
+        return cls(events=tuple(events))

@@ -11,8 +11,13 @@ The subcommands mirror how the repository is used:
 - ``list``: introspect the component registries (systems, routers,
   traces, models) with their parameter schemas;
 - ``bench``: measure the *simulator's* own throughput (iterations per
-  wall-second) over the standard perf suite and write ``BENCH_PR5.json``
-  (see :mod:`repro.perfbench`);
+  wall-second) over the standard perf suite and write ``BENCH_PR6.json``
+  (see :mod:`repro.perfbench`); ``--baseline`` (defaulting to the newest
+  committed ``BENCH_PR*.json``) warns on perf regressions and **fails**
+  on fixed-seed digest divergence;
+- ``chaos-report``: run one fault-injection experiment and export its
+  incident timeline (strict JSON via ``--out``, GitHub-markdown table
+  via ``--markdown`` — CI appends it to the job summary);
 - ``profile``: hardware profiling (Table 1 derived quantities).
 
 Components are referenced by registry spec strings — ``adaserve``,
@@ -36,6 +41,8 @@ Examples
     python -m repro sweep --model qwen32b --systems adaserve vllm --rps 2.4 3.2 4.0 --jobs 4
     python -m repro sweep --systems vllm-spec --rps 4.2 --grid system.k=2,4,6,8
     python -m repro cluster --replicas 4 --router affinity:reserve=0.5 --rps 12 --trace diurnal
+    python -m repro cluster --replicas 3 --faults crash:at=20,replica=1 --faults straggler:slow=2
+    python -m repro chaos-report --replicas 3 --router affinity --faults crash --markdown
     python -m repro list systems
     python -m repro profile --model llama70b
 """
@@ -55,7 +62,8 @@ from repro.analysis.report import format_table, point_from_metrics, series_table
 from repro.analysis.runner import ExperimentConfig, SweepRunner
 from repro.analysis.spec import SYSTEM_FIELD_AXES, apply_axis, parse_grid_axis
 from repro.hardware.profiler import HardwareProfiler
-from repro.registry import MODELS, ROUTERS, SYSTEMS, TRACES, SpecError
+from repro.perfbench.suite import DEFAULT_OUT as _DEFAULT_BENCH_OUT
+from repro.registry import FAULTS, MODELS, ROUTERS, SYSTEMS, TRACES, SpecError
 from repro.workloads.categories import urgent_mix
 
 #: Introspectable registries, by the plural the ``list`` subcommand uses.
@@ -64,6 +72,7 @@ _REGISTRIES = {
     "routers": ROUTERS,
     "traces": TRACES,
     "models": MODELS,
+    "faults": FAULTS,
 }
 
 
@@ -84,6 +93,7 @@ _system_spec = _spec_type(SYSTEMS)
 _router_spec = _spec_type(ROUTERS)
 _trace_spec = _spec_type(TRACES)
 _model_spec = _spec_type(MODELS)
+_fault_spec = _spec_type(FAULTS)
 
 
 def _fraction(text: str) -> float:
@@ -122,6 +132,16 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
         action="store_true",
         help="share prefix KV blocks across requests (pairs with the "
         "sessions/agentic traces; see `repro list traces`)",
+    )
+    p.add_argument(
+        "--faults",
+        action="append",
+        type=_fault_spec,
+        default=None,
+        metavar="SPEC",
+        help="inject a deterministic fault (repeatable), e.g. "
+        "crash:at=120,replica=1 or straggler:slow=2.0 "
+        "(see `repro list faults`; forces the fleet execution path)",
     )
 
 
@@ -178,6 +198,7 @@ def _config_for(
         replicas=replicas,
         router=router,
         autoscale=autoscale,
+        faults=tuple(args.faults) if args.faults else None,
     )
 
 
@@ -271,6 +292,16 @@ def _cmd_cluster(args) -> int:
         f"replicas: {args.replicas}   router: {args.router}   "
         f"autoscale: {'on' if autoscale is not None else 'off'}"
     )
+    chaos = result.report.chaos
+    if chaos is not None:
+        line = (
+            f"chaos: {chaos['num_crashes']} crash(es), "
+            f"{chaos['num_stragglers']} straggler(s); "
+            f"disrupted {chaos['requests_disrupted']}, lost {chaos['requests_lost']}"
+        )
+        if chaos["mean_recovery_time_s"] is not None:
+            line += f", mean recovery {chaos['mean_recovery_time_s']:.3f}s"
+        print(line + "  (full timeline: repro chaos-report)")
     print(runner.stats_line())
     _write_out(args.out, report_to_json(result.report))
     return 0
@@ -402,9 +433,23 @@ def _cmd_bench(args) -> int:
     from repro.perfbench import (
         compare_to_baseline,
         format_bench_table,
+        latest_baseline,
         run_suite,
     )
     from repro.perfbench.suite import load_result
+
+    baseline_path = args.baseline
+    if baseline_path == "auto":
+        found = latest_baseline()
+        if found is None:
+            print(
+                "error: --baseline given without FILE but no committed "
+                "BENCH_PR*.json found in the working directory",
+                file=sys.stderr,
+            )
+            return 2
+        baseline_path = str(found)
+        print(f"baseline: {baseline_path}", file=sys.stderr)
 
     def progress(row) -> None:
         print(
@@ -425,19 +470,62 @@ def _cmd_bench(args) -> int:
         result = run_suite(quick=args.quick, progress=progress)
 
     warnings: list[str] = []
-    if args.baseline is not None:
+    errors: list[str] = []
+    if baseline_path is not None:
         try:
-            baseline = load_result(args.baseline)
+            baseline = load_result(baseline_path)
         except (OSError, ValueError) as exc:
-            print(f"error: cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+            print(f"error: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
             return 2
-        summary, warnings = compare_to_baseline(result, baseline)
+        summary, warnings, errors = compare_to_baseline(result, baseline)
         result["baseline"] = summary
 
     print(format_bench_table(result))
     for line in warnings:
         print(line, file=sys.stderr)
+    for line in errors:
+        print(line, file=sys.stderr)
     _write_out(args.out, json.dumps(result, indent=2, sort_keys=True, allow_nan=False))
+    # Perf regressions only warn (wall clocks are noisy); a diverged
+    # fixed-seed report digest means determinism broke and must fail.
+    return 1 if errors else 0
+
+
+def _cmd_chaos_report(args) -> int:
+    """Run one chaos experiment and export its incident timeline.
+
+    Stdout carries only the incident table (plain text, or a GitHub
+    markdown table with ``--markdown`` — appendable straight to
+    ``$GITHUB_STEP_SUMMARY``); run status goes to stderr.  ``--out``
+    additionally writes the full timeline as strict JSON.
+    """
+    from repro import __version__
+    from repro.analysis.export import REPORT_SCHEMA_VERSION
+    from repro.chaos import format_incident_table
+
+    if not args.faults:
+        print("error: chaos-report requires at least one --faults SPEC", file=sys.stderr)
+        return 2
+    config = _config_for(
+        args, args.system, args.rps,
+        replicas=args.replicas, router=args.router,
+    )
+    runner = SweepRunner(cache=_make_cache(args), jobs=1)
+    result = runner.run([config])[0]
+    chaos = result.report.chaos
+    if chaos is None:
+        print("error: run produced no chaos report", file=sys.stderr)
+        return 2
+    print(runner.stats_line(), file=sys.stderr)
+    if args.out:
+        payload = {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "repro_version": __version__,
+            "chaos": chaos,
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+        _write_out(args.out, text)
+    print(format_incident_table(chaos, markdown=args.markdown))
     return 0
 
 
@@ -585,15 +673,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--out",
-        default="BENCH_PR5.json",
-        help="write the bench result JSON here (default: BENCH_PR5.json)",
+        default=_DEFAULT_BENCH_OUT,
+        help=f"write the bench result JSON here (default: {_DEFAULT_BENCH_OUT})",
     )
     p_bench.add_argument(
         "--baseline",
+        nargs="?",
+        const="auto",
         default=None,
         metavar="FILE",
-        help="compare against a previous bench result; a >30%% iterations/s "
-        "drop prints a warning (never fails)",
+        help="compare against a previous bench result (default FILE: the "
+        "newest committed BENCH_PR*.json); a >30%% iterations/s drop prints "
+        "a warning, a diverged fixed-seed report digest fails the run",
     )
     p_bench.add_argument(
         "--profile",
@@ -601,6 +692,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="also dump a cProfile pstats file next to --out",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_chaos = sub.add_parser(
+        "chaos-report",
+        help="run one chaos experiment and export its incident timeline",
+    )
+    _add_workload_args(p_chaos)
+    _add_cache_args(p_chaos)
+    p_chaos.add_argument("--system", type=_system_spec, default="adaserve")
+    p_chaos.add_argument("--rps", type=_positive_float, default=12.0)
+    p_chaos.add_argument("--replicas", type=_positive_int, default=4)
+    p_chaos.add_argument(
+        "--router",
+        type=_router_spec,
+        default="round-robin",
+        help="routing policy spec (see `repro list routers`), e.g. affinity:reserve=0.4",
+    )
+    p_chaos.add_argument("--max-sim-time", type=_positive_float, default=1800.0)
+    p_chaos.add_argument(
+        "--out", default=None, help="also write the incident timeline as strict JSON"
+    )
+    p_chaos.add_argument(
+        "--markdown",
+        action="store_true",
+        help="print the incident table as GitHub markdown "
+        "(stdout carries only the table, e.g. for $GITHUB_STEP_SUMMARY)",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos_report)
 
     p_prof = sub.add_parser("profile", help="hardware profiling for a deployment")
     p_prof.add_argument("--model", type=_model_spec, default="llama70b")

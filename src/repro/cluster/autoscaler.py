@@ -120,7 +120,11 @@ class Autoscaler:
             return 0
         self._next_check = now + self.config.check_interval_s
 
-        active = [r for r in replicas if not r.retired and not r.draining]
+        # Failed replicas (chaos crashes) are excluded from serving
+        # capacity: their evacuated requests land as backlog on the
+        # survivors, so a crash reads as scale-up pressure — but they
+        # still occupy hardware, so the live ceiling below counts them.
+        active = [r for r in replicas if not r.retired and not r.draining and not r.failed]
         if not active:
             return 0
         warm = [r for r in active if r.available_at <= now]
@@ -158,7 +162,9 @@ class Autoscaler:
         Highest index breaks ties so autoscaled additions retire before
         the original fleet.
         """
-        candidates = [r for r in replicas if not r.retired and not r.draining]
+        candidates = [
+            r for r in replicas if not r.retired and not r.draining and not r.failed
+        ]
         if len(candidates) <= self.config.min_replicas:
             return None
         return min(candidates, key=lambda r: (r.queued_tokens, -r.index))

@@ -30,6 +30,7 @@ from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.chaos import ChaosLog, FaultEvent, FaultSchedule, build_chaos_report
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig, ScaleEvent
 from repro.cluster.replica import Replica
 from repro.cluster.router import Router
@@ -59,6 +60,11 @@ class FleetReport:
     scale_events: list[ScaleEvent]
 
     @property
+    def chaos(self) -> dict | None:
+        """Incident report of a chaos run (None without a fault schedule)."""
+        return self.summary.chaos
+
+    @property
     def attainment(self) -> float:
         """Fleet SLO attainment (convenience passthrough)."""
         return self.summary.metrics.attainment
@@ -85,6 +91,10 @@ class FleetSimulator:
         Initial fleet size.
     autoscaler_config:
         Enables autoscaling when given (see :mod:`repro.cluster.autoscaler`).
+    fault_schedule:
+        Deterministic fault injections (see :mod:`repro.chaos`); events
+        ride the fleet event heap as first-class entries.  ``None`` or an
+        empty schedule leaves the run bit-identical to a chaos-free one.
     max_sim_time_s / max_iterations:
         Safety cutoffs, as in the single-engine simulator; iterations are
         counted fleet-wide.
@@ -97,6 +107,7 @@ class FleetSimulator:
         router: Router,
         num_replicas: int,
         autoscaler_config: AutoscalerConfig | None = None,
+        fault_schedule: FaultSchedule | None = None,
         max_sim_time_s: float = 7200.0,
         max_iterations: int = 2_000_000,
     ) -> None:
@@ -116,18 +127,33 @@ class FleetSimulator:
         self.scale_events: list[ScaleEvent] = []
         self._peak_live = num_replicas
         # Incremental fleet state (replaces per-event full rescans):
-        # - the event heap holds (local_now, index) for replicas believed
-        #   busy; entries go stale when a replica steps or drains and are
-        #   dropped lazily at the top;
+        # - the event heap holds (time, kind, index) entries: kind 0 is
+        #   a fault event (index into _chaos_events — never stale), kind
+        #   1 a replica believed busy keyed on its local_now; replica
+        #   entries go stale when it steps or drains and are dropped
+        #   lazily at the top.  Faults sort before replica steps at
+        #   equal times; replica-replica ordering is unchanged;
         # - the routable pool is maintained in index order (warm-ups are
         #   promoted lazily, drains removed eagerly), so routing an
         #   arrival no longer rebuilds the pool from scratch;
         # - live/draining counters keep autoscale/retire checks O(1).
-        self._event_heap: list[tuple[float, int]] = []
+        self._event_heap: list[tuple[float, int, int]] = []
         self._pool: list[Replica] = list(self.replicas)
         self._warming: deque[Replica] = deque()
         self._live = num_replicas
         self._num_draining = 0
+        # Chaos state: declared fault events (appended to at runtime by
+        # crash→restart and bounded-straggler→end follow-ups, in
+        # processing order — deterministic), the incident log, and the
+        # scale-delay penalty currently in force.
+        self.fault_schedule = fault_schedule
+        self._chaos_events: list[FaultEvent] = (
+            list(fault_schedule.events) if fault_schedule is not None else []
+        )
+        self._chaos_log: ChaosLog | None = ChaosLog() if self._chaos_events else None
+        self._scaleup_extra = 0.0
+        for i, event in enumerate(self._chaos_events):
+            heapq.heappush(self._event_heap, (event.at_s, 0, i))
 
     # ------------------------------------------------------------------
     def _spawn(self, index: int, available_at: float) -> Replica:
@@ -149,9 +175,12 @@ class FleetSimulator:
         # Degenerate fallbacks (no warm, non-draining replica): prefer
         # replicas still warming up — they will serve the queue once
         # available — so a drain decision is not fed new work; only a
-        # fleet of nothing but drainers routes to them (never drop a
-        # request).
-        still_warming = [r for r in self.replicas if not r.retired and not r.draining]
+        # fleet of nothing but drainers (or crashed replicas) routes to
+        # them (never drop a request — a failed target queues the work
+        # until its restart).
+        still_warming = [
+            r for r in self.replicas if not r.retired and not r.draining and not r.failed
+        ]
         if still_warming:
             return still_warming
         return [r for r in self.replicas if not r.retired]
@@ -162,7 +191,9 @@ class FleetSimulator:
         decision = self.autoscaler.decide(now, self.replicas)
         if decision > 0:
             index = len(self.replicas)
-            warmup = self.autoscaler.config.warmup_s
+            # A scale-delay fault (repro.chaos) slows the control plane:
+            # every later scale-up pays extra warmup.
+            warmup = self.autoscaler.config.warmup_s + self._scaleup_extra
             replica = self._spawn(index, available_at=now + warmup)
             self.replicas.append(replica)
             self._warming.append(replica)
@@ -195,17 +226,163 @@ class FleetSimulator:
                 self._num_draining -= 1
 
     # ------------------------------------------------------------------
+    # Fault injection (see repro.chaos)
+    # ------------------------------------------------------------------
+    def _push_fault(self, event: FaultEvent) -> None:
+        """Append a runtime follow-up fault and schedule it on the heap."""
+        self._chaos_events.append(event)
+        heapq.heappush(self._event_heap, (event.at_s, 0, len(self._chaos_events) - 1))
+
+    def _remove_from_pool(self, replica: Replica) -> None:
+        for i, candidate in enumerate(self._pool):
+            if candidate is replica:
+                del self._pool[i]
+                return
+
+    def _fault_target(self, event: FaultEvent, now: float, kind: str) -> Replica | None:
+        """Resolve a fault's victim, skipping (and logging) invalid targets."""
+        log = self._chaos_log
+        assert log is not None
+        if event.replica is None or not 0 <= event.replica < len(self.replicas):
+            log.note(now, f"{kind}-skipped", replica=event.replica, reason="no such replica")
+            return None
+        replica = self.replicas[event.replica]
+        if replica.retired or replica.failed:
+            log.note(
+                now,
+                f"{kind}-skipped",
+                replica=replica.index,
+                reason="retired" if replica.retired else "already down",
+            )
+            return None
+        return replica
+
+    def _apply_fault(self, event: FaultEvent, now: float) -> None:
+        log = self._chaos_log
+        assert log is not None
+        kind = event.kind
+        if kind == "crash":
+            self._apply_crash(event, now)
+        elif kind == "restart":
+            self._apply_restart(event, now)
+        elif kind == "straggler":
+            replica = self._fault_target(event, now, kind)
+            if replica is None:
+                return
+            replica.engine.slow_factor = event.slow
+            log.note(now, "straggler", replica=replica.index, slow=event.slow,
+                     duration_s=event.duration_s)
+            if event.duration_s is not None:
+                self._push_fault(
+                    FaultEvent(
+                        at_s=now + event.duration_s,
+                        kind="straggler-end",
+                        replica=replica.index,
+                        slow=event.slow,
+                    )
+                )
+        elif kind == "straggler-end":
+            replica = self.replicas[event.replica]
+            # A crash mid-straggler swapped in a fresh (healthy) engine;
+            # only clear an engine still degraded by *this* fault.
+            if not replica.retired and replica.engine.slow_factor == event.slow:
+                replica.engine.slow_factor = 1.0
+                log.note(now, "straggler-end", replica=replica.index)
+        elif kind == "scale-delay":
+            self._scaleup_extra = event.extra_s
+            log.note(now, "scale-delay", extra_s=event.extra_s)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown fault kind {kind!r}")
+
+    def _apply_crash(self, event: FaultEvent, now: float) -> None:
+        """Kill a replica: evacuate, invalidate, re-route, schedule restart."""
+        log = self._chaos_log
+        assert log is not None
+        replica = self._fault_target(event, now, "crash")
+        if replica is None:
+            return
+        was_draining = replica.draining
+        self._remove_from_pool(replica)
+        if replica in self._warming:
+            self._warming.remove(replica)
+        engine, scheduler = self.replica_factory(replica.index)
+        victims = replica.crash(engine, scheduler)
+        # Sessions homed here lost their prefix KV; sticky routers must
+        # re-home them (the PR 4 affinity state is rolled back).
+        self.router.forget_replica(replica.index)
+        if was_draining:
+            # The autoscaler already wanted this replica gone; the crash
+            # finishes the job immediately (no restart — its work simply
+            # re-routes below).
+            replica.draining = False
+            replica.retired = True
+            self._live -= 1
+            self._num_draining -= 1
+            restart_at = None
+        else:
+            replica.failed = True
+            restart_at = now + event.restart_s
+            replica.available_at = restart_at
+            replica.local_now = restart_at
+            self._push_fault(
+                FaultEvent(at_s=restart_at, kind="restart", replica=replica.index)
+            )
+        requeued = []
+        for req in victims:
+            req.fail_over()
+            target = self.router.route(req, self._routable(now))
+            was_busy = target.has_work()
+            target.admit(req, now)
+            if not was_busy and not target.failed:
+                heapq.heappush(self._event_heap, (target.local_now, 1, target.index))
+            requeued.append(req.rid)
+        log.note(
+            now,
+            "crash",
+            replica=replica.index,
+            restart_at_s=restart_at,
+            was_draining=was_draining,
+            requeued=requeued,
+        )
+
+    def _apply_restart(self, event: FaultEvent, now: float) -> None:
+        """Bring a crashed replica back, cold, at its restart instant."""
+        replica = self.replicas[event.replica]
+        if replica.retired or not replica.failed:
+            return
+        replica.failed = False
+        # Re-enter the routable pool at its index-sorted position.
+        pool = self._pool
+        pos = len(pool)
+        for i, candidate in enumerate(pool):
+            if candidate.index > replica.index:
+                pos = i
+                break
+        pool.insert(pos, replica)
+        # Requests degenerately routed here while it was down (no other
+        # live replica) have been queuing; start serving them now.
+        if replica.has_work():
+            heapq.heappush(self._event_heap, (replica.local_now, 1, replica.index))
+        log = self._chaos_log
+        assert log is not None
+        log.note(now, "restart", replica=replica.index)
+
+    # ------------------------------------------------------------------
     def run(self) -> FleetReport:
         """Execute the fleet simulation to completion (or safety cutoff).
 
         The loop is event-driven over an explicit heap: replicas with
-        work sit in ``_event_heap`` keyed on ``(local_now, index)`` —
+        work sit in ``_event_heap`` keyed on ``(local_now, 1, index)`` —
         identical selection (and tie-breaking) to the former
         ``min(...)``-over-rebuilt-lists scan, without rebuilding the
         ``busy``/``runnable`` lists at every event.  Entries are pushed
         on the idle→busy transition (an arrival routed to an idle
         replica) and after each step that leaves work behind; entries
         invalidated by draining are dropped lazily at the heap top.
+        Fault events (``(at_s, 0, event_index)``; see :mod:`repro.chaos`)
+        share the heap and fire in the same global time order, sorting
+        ahead of replica steps at equal times; pending arrivals still win
+        ties exactly as they do against steps.
         """
         clock = SimClock()
         arrivals = ArrivalStream(self.requests)
@@ -215,10 +392,13 @@ class FleetSimulator:
         replicas = self.replicas
 
         while True:
-            # Drop stale heap entries (replica stepped, drained, or
-            # retired since its entry was pushed).
+            # Drop stale replica entries (replica stepped, drained, or
+            # retired since its entry was pushed).  Fault entries (kind
+            # 0) are never stale — they are processed exactly once.
             while heap:
-                t, i = heap[0]
+                t, kind, i = heap[0]
+                if kind == 0:
+                    break
                 replica = replicas[i]
                 if replica.local_now == t and not replica.retired and replica.has_work():
                     break
@@ -234,10 +414,21 @@ class FleetSimulator:
             # horizon, or an idle sub-horizon replica could still serve a
             # pending sub-horizon arrival — only then is nothing left.
             step_candidate = None
+            fault_index = None
+            event_time = 0.0
             if heap:
-                t, i = heap[0]
+                t, kind, i = heap[0]
+                event_time = t
                 if t <= horizon:
-                    step_candidate = replicas[i]
+                    if kind == 0:
+                        fault_index = i
+                    else:
+                        step_candidate = replicas[i]
+                elif kind == 0:
+                    # A fault beyond the horizon can never fire; discard
+                    # it so the drain check above can terminate the loop.
+                    heapq.heappop(heap)
+                    continue
                 else:
                     idle_capacity = any(
                         not r.retired
@@ -252,7 +443,13 @@ class FleetSimulator:
                     ):
                         break
 
-            if step_candidate is not None and (
+            if fault_index is not None and (
+                next_arrival is None or event_time < next_arrival
+            ):
+                heapq.heappop(heap)
+                clock.advance_to(event_time)
+                self._apply_fault(self._chaos_events[fault_index], clock.now)
+            elif step_candidate is not None and (
                 next_arrival is None or step_candidate.local_now < next_arrival
             ):
                 heapq.heappop(heap)
@@ -265,7 +462,7 @@ class FleetSimulator:
                     )
                 if step_candidate.has_work():
                     heapq.heappush(
-                        heap, (step_candidate.local_now, step_candidate.index)
+                        heap, (step_candidate.local_now, 1, step_candidate.index)
                     )
             else:
                 clock.advance_to(next_arrival)
@@ -273,8 +470,8 @@ class FleetSimulator:
                     target = self.router.route(req, self._routable(clock.now))
                     was_busy = target.has_work()
                     target.admit(req, clock.now)
-                    if not was_busy:
-                        heapq.heappush(heap, (target.local_now, target.index))
+                    if not was_busy and not target.failed:
+                        heapq.heappush(heap, (target.local_now, 1, target.index))
 
             self._autoscale(clock.now)
             self._retire_drained()
@@ -296,6 +493,11 @@ class FleetSimulator:
             (req for rep in replica_reports for req in rep.requests),
             key=lambda r: r.rid,
         )
+        chaos = (
+            build_chaos_report(self._chaos_log, all_requests, sim_time_s)
+            if self._chaos_log is not None
+            else None
+        )
         base_name = self.replicas[0].scheduler.name
         summary = SimulationReport(
             scheduler_name=f"{base_name} x{self._peak_live} [{self.router.name}]",
@@ -304,6 +506,7 @@ class FleetSimulator:
             iterations=iterations,
             phase_breakdown=self._merged_phase_breakdown(),
             requests=all_requests,
+            chaos=chaos,
         )
         return FleetReport(
             summary=summary,
@@ -318,5 +521,5 @@ class FleetSimulator:
         """Fleet-wide phase fractions: per-phase busy time summed first."""
         merged = PhaseTimes()
         for replica in self.replicas:
-            merged.add(replica.engine.phase_times)
+            merged.add(replica.accumulated_phase_times())
         return merged.breakdown()

@@ -18,7 +18,7 @@ routing policies in :mod:`repro.cluster.router` compare.
 
 from __future__ import annotations
 
-from repro.serving.engine import SimulatedEngine
+from repro.serving.engine import PhaseTimes, SimulatedEngine
 from repro.serving.metrics import compute_metrics
 from repro.serving.request import Request
 from repro.serving.scheduler_base import Scheduler
@@ -47,7 +47,17 @@ class Replica:
         self.local_now = available_at
         self.draining = False
         self.retired = False
+        #: Crashed and waiting for its restart (chaos runs): not
+        #: routable, not stepped, still occupying its hardware slot.
+        self.failed = False
+        self.crash_count = 0
         self.iterations = 0
+        # Crash stash: requests that finished on pre-crash engines and
+        # their accumulated phase times.  Lazy (None until the first
+        # crash) so no-crash replicas report through the exact same code
+        # path — and the same floats — as before chaos existed.
+        self._crash_finished: list[Request] = []
+        self._crash_phase: PhaseTimes | None = None
         # Load changes only at admissions and iteration boundaries, but
         # routers probe it once per routable replica per arrival — cache
         # the queue scan and invalidate on those two events.
@@ -64,7 +74,12 @@ class Replica:
 
     def routable(self, now: float) -> bool:
         """Whether the router may send new requests here at ``now``."""
-        return not self.draining and not self.retired and self.available_at <= now
+        return (
+            not self.draining
+            and not self.retired
+            and not self.failed
+            and self.available_at <= now
+        )
 
     def admit(self, req: Request, now: float) -> None:
         """Accept a routed request at fleet time ``now``.
@@ -95,6 +110,44 @@ class Replica:
     def finalize(self) -> None:
         """Retire requests that finished in the last iteration."""
         self.scheduler.finalize()
+
+    def crash(self, engine: SimulatedEngine, scheduler: Scheduler) -> list[Request]:
+        """Lose all engine state at a fault instant; swap in a fresh pair.
+
+        Models the replica process dying: every private KV block *and*
+        shared prefix block is wiped (:meth:`KVCacheManager.invalidate_all`),
+        unfinished requests are surrendered to the caller for re-routing,
+        and the replacement engine + scheduler start cold.  Requests that
+        finished before the crash — and the dead engine's accumulated
+        phase times — are stashed so :meth:`report` stays complete.
+        """
+        if scheduler.engine is not engine:
+            raise ValueError("scheduler must wrap the provided engine")
+        victims = self.scheduler.evacuate()
+        self._crash_finished.extend(self.scheduler.finished)
+        if self._crash_phase is None:
+            self._crash_phase = PhaseTimes()
+        self._crash_phase.add(self.engine.phase_times)
+        self.engine.kv.invalidate_all()
+        self.engine = engine
+        self.scheduler = scheduler
+        self.crash_count += 1
+        self._load_version += 1
+        return victims
+
+    def accumulated_phase_times(self) -> PhaseTimes:
+        """Busy time across every engine this replica has run.
+
+        Returns the live engine's tally directly when the replica never
+        crashed, so no-crash runs see the identical object (and floats)
+        they always did.
+        """
+        if self._crash_phase is None:
+            return self.engine.phase_times
+        merged = PhaseTimes()
+        merged.add(self._crash_phase)
+        merged.add(self.engine.phase_times)
+        return merged
 
     # ------------------------------------------------------------------
     # Load introspection (router inputs)
@@ -132,20 +185,20 @@ class Replica:
     # ------------------------------------------------------------------
     def report(self) -> SimulationReport:
         """Per-replica simulation report (same shape as a solo run)."""
-        requests = self.scheduler.all_requests()
+        requests = self._crash_finished + self.scheduler.all_requests()
         return SimulationReport(
             scheduler_name=self.scheduler.name,
             metrics=compute_metrics(requests),
             sim_time_s=self.local_now,
             iterations=self.iterations,
-            phase_breakdown=self.engine.phase_times.breakdown(),
+            phase_breakdown=self.accumulated_phase_times().breakdown(),
             requests=requests,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = "".join(
             flag
-            for flag, on in (("D", self.draining), ("R", self.retired))
+            for flag, on in (("D", self.draining), ("R", self.retired), ("F", self.failed))
             if on
         )
         return (

@@ -60,6 +60,14 @@ class Router(abc.ABC):
         the fleet at the admission instant.
         """
 
+    def forget_replica(self, index: int) -> None:
+        """Drop any sticky state referring to replica ``index``.
+
+        Called by the fleet when a replica crashes (see
+        :mod:`repro.chaos`): its caches are gone, so affinity toward it
+        is stale.  Stateless policies need no reaction.
+        """
+
 
 def _least_loaded(replicas: Sequence[Replica]) -> Replica:
     """Fewest queued tokens, ties broken by lowest index."""
@@ -214,6 +222,15 @@ class PrefixAffinityRouter(Router):
         if sid is not None:
             self._home[sid] = choice.index
         return choice
+
+    def forget_replica(self, index: int) -> None:
+        """Un-home every session pinned to a crashed replica.
+
+        Their prefix KV died with it; the next turn routes least-loaded
+        and re-homes wherever it lands (re-prefilling from scratch),
+        rather than returning to a replica that restarts cold.
+        """
+        self._home = {sid: home for sid, home in self._home.items() if home != index}
 
 
 def make_router(name: str, seed: int = 0, **kwargs) -> Router:

@@ -22,6 +22,7 @@ from repro.perfbench.suite import (
     build_suite,
     compare_to_baseline,
     format_bench_table,
+    latest_baseline,
     run_suite,
 )
 
@@ -32,5 +33,6 @@ __all__ = [
     "build_suite",
     "compare_to_baseline",
     "format_bench_table",
+    "latest_baseline",
     "run_suite",
 ]

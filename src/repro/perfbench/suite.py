@@ -1,6 +1,6 @@
 """The standard simulator-performance suite and its JSON schema.
 
-Four scenarios cover the simulator's distinct hot paths:
+Five scenarios cover the simulator's distinct hot paths:
 
 - ``solo-adaserve``: the speculate-select-verify pipeline and the
   synthetic model substrate (tree construction, draft distributions);
@@ -8,6 +8,9 @@ Four scenarios cover the simulator's distinct hot paths:
   (KV admission, preemption machinery) at cluster scale;
 - ``sessions-prefix``: prefix-cache matching, token-stream hashing, and
   session workloads;
+- ``chaos-churn``: the fault-injection path — replica crash + straggler
+  under prefix-affinity routing, exercising evacuation, re-routing, and
+  the incident-report machinery;
 - ``sweep-12pt``: a Figure 8/9-shaped grid across four systems, the
   dominant wall-clock cost of CI and large experiments.
 
@@ -15,10 +18,13 @@ Every scenario is a fixed-seed pure function of its specs, so the
 per-scenario report digest (SHA-256 over the strict-JSON exports) must
 be identical before and after any legitimate performance change; the
 digests double as a coarse golden-equivalence check (the fine-grained
-one lives in ``tests/test_golden_equivalence.py``).
+one lives in ``tests/test_golden_equivalence.py``).  Against a
+like-for-like baseline, :func:`compare_to_baseline` treats a digest
+mismatch as a hard **error** (determinism broke), while iterations/s
+regressions stay warnings (wall clocks are noisy).
 
 Results are written in a stable schema (see :data:`BENCH_SCHEMA_VERSION`)
-so ``BENCH_PR5.json`` files remain comparable across PRs::
+so ``BENCH_PR*.json`` files remain comparable across PRs::
 
     {
       "bench_schema": 1,
@@ -40,8 +46,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro import __version__
 from repro.analysis.export import report_to_json
@@ -52,7 +60,7 @@ from repro.analysis.spec import ExperimentSpec
 BENCH_SCHEMA_VERSION = 1
 
 #: Default output path for the committed perf trajectory.
-DEFAULT_OUT = "BENCH_PR5.json"
+DEFAULT_OUT = "BENCH_PR6.json"
 
 #: Iterations/s regression (fractional drop vs baseline) that triggers a
 #: warning in :func:`compare_to_baseline`.
@@ -113,6 +121,27 @@ def build_suite(quick: bool = False) -> list[Scenario]:
                     duration_s=d_run,
                     trace="sessions",
                     prefix_cache=True,
+                ),
+            ),
+        ),
+        Scenario(
+            "chaos-churn",
+            "3-replica affinity fleet with a crash + straggler injected",
+            (
+                # Fault times sit inside the quick trace too (d_run >= 8),
+                # so quick and full runs exercise the same chaos path.
+                spec(
+                    system="vllm",
+                    rps=9.0,
+                    duration_s=d_run,
+                    trace="sessions",
+                    prefix_cache=True,
+                    replicas=3,
+                    router="affinity",
+                    faults=(
+                        "crash:at=3,replica=1,restart=2",
+                        "straggler:at=1,replica=0,slow=1.5,duration=4",
+                    ),
                 ),
             ),
         ),
@@ -179,38 +208,62 @@ def run_suite(quick: bool = False, progress=None) -> dict:
 # ----------------------------------------------------------------------
 # Baseline comparison
 # ----------------------------------------------------------------------
-def compare_to_baseline(current: dict, baseline: dict) -> tuple[dict, list[str]]:
-    """Compare two bench results; returns (summary, warnings).
+def compare_to_baseline(
+    current: dict, baseline: dict
+) -> tuple[dict, list[str], list[str]]:
+    """Compare two bench results; returns (summary, warnings, errors).
 
     The summary is embedded under the result's ``baseline`` key.  A
     scenario (or the aggregate) whose iterations/s dropped by more than
     :data:`REGRESSION_WARN_FRACTION` produces a warning — never an error:
     wall-clock noise across machines and Python versions makes a hard
     gate counterproductive, but a 30% drop is worth a human look.
+
+    Report *digests* are different: when the comparison is like-for-like
+    (same suite, or the baseline embeds this suite's sibling result), a
+    scenario whose digest diverged is a hard **error** — same specs, same
+    seeds, different simulation output means determinism broke, and no
+    amount of machine noise explains that.  Scenarios absent from the
+    baseline (newly added) are skipped.
     """
     warnings: list[str] = []
+    errors: list[str] = []
     if baseline.get("bench_schema") != current.get("bench_schema"):
         warnings.append(
             "baseline uses bench_schema "
             f"{baseline.get('bench_schema')!r} (current: "
             f"{current.get('bench_schema')!r}); comparison skipped"
         )
-        return {"comparable": False}, warnings
+        return {"comparable": False}, warnings, errors
+    like_for_like = True
     if baseline.get("suite") != current.get("suite"):
         # A committed result may carry its sibling suite's numbers under
-        # a key named after that suite (the repo's BENCH_PR5.json embeds
-        # the quick run this way so CI's --quick smoke compares like with
-        # like); fall through to an indicative comparison otherwise.
+        # a key named after that suite (the repo's committed BENCH file
+        # embeds the quick run this way so CI's --quick smoke compares
+        # like with like); fall through to an indicative comparison
+        # otherwise.
         nested = baseline.get(current.get("suite"))
         if isinstance(nested, dict) and nested.get("suite") == current.get("suite"):
             baseline = nested
         else:
+            like_for_like = False
             warnings.append(
                 f"baseline suite is {baseline.get('suite')!r} but this run is "
                 f"{current.get('suite')!r}; iterations/s ratios are indicative only"
             )
 
     base_rows = {row["name"]: row for row in baseline.get("scenarios", [])}
+    if like_for_like:
+        for row in current["scenarios"]:
+            base = base_rows.get(row["name"])
+            if base is None or "digest" not in base or "digest" not in row:
+                continue
+            if base["digest"] != row["digest"]:
+                errors.append(
+                    f"error: scenario {row['name']!r} report digest diverged from "
+                    f"baseline ({base['digest']} -> {row['digest']}); fixed-seed "
+                    "simulation output changed"
+                )
     per_scenario: dict[str, dict] = {}
     for row in current["scenarios"]:
         base = base_rows.get(row["name"])
@@ -245,7 +298,28 @@ def compare_to_baseline(current: dict, baseline: dict) -> tuple[dict, list[str]]
                 f"({base_agg['iters_per_s']:.0f} -> "
                 f"{current['aggregate']['iters_per_s']:.0f})"
             )
-    return summary, warnings
+    return summary, warnings, errors
+
+
+_BENCH_FILE_RE = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+def latest_baseline(directory: str | Path = ".") -> Path | None:
+    """Newest committed bench result (highest ``BENCH_PR<N>.json``).
+
+    The default for ``repro bench --baseline`` (no FILE): compare against
+    the most recent committed perf trajectory without hard-coding its
+    name into scripts and CI. ``None`` when the directory has none.
+    """
+    best: tuple[int, Path] | None = None
+    for path in Path(directory).glob("BENCH_PR*.json"):
+        match = _BENCH_FILE_RE.match(path.name)
+        if match is None:
+            continue
+        number = int(match.group(1))
+        if best is None or number > best[0]:
+            best = (number, path)
+    return None if best is None else best[1]
 
 
 def format_bench_table(result: dict) -> str:

@@ -306,6 +306,22 @@ class PrefixCacheManager(KVCacheManager):
         self._miss_counted.discard(rid)  # a re-admission is a fresh pass
         return released + len(chain)
 
+    def invalidate_all(self) -> None:
+        """Drop every allocation, reference, and shared block at once.
+
+        Models a replica crash (see :mod:`repro.chaos`): the device
+        memory backing both private allocations *and* the shared prefix
+        table is gone, so sessions homed here re-prefill from scratch.
+        Cumulative hit/evict counters are deliberately kept — they count
+        work that genuinely happened before the crash.
+        """
+        super().invalidate_all()
+        self._shared.clear()
+        self._refs.clear()
+        self._unreferenced = 0
+        self._evictable = []
+        self._miss_counted.clear()
+
     # ------------------------------------------------------------------
     # Eviction
     # ------------------------------------------------------------------

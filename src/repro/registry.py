@@ -501,7 +501,7 @@ def _filter_kwargs(factory: Callable, extra: Mapping[str, object]) -> dict:
 
 
 # ----------------------------------------------------------------------
-# The four built-in registries.
+# The built-in registries.
 
 #: Schedulers (the paper's evaluated systems).
 SYSTEMS = Registry("system")
@@ -511,6 +511,8 @@ ROUTERS = Registry("router")
 TRACES = Registry("trace")
 #: Model/deployment setups (Table 1).
 MODELS = Registry("model setup")
+#: Deterministic fault injections (chaos runs).
+FAULTS = Registry("fault")
 
 _COMPONENT_MODULES = (
     "repro.baselines",  # seven baseline schedulers
@@ -519,6 +521,7 @@ _COMPONENT_MODULES = (
     "repro.workloads.generator",  # single-shot trace kinds
     "repro.workloads.sessions",  # multi-turn session trace kinds
     "repro.analysis.harness",  # model setups
+    "repro.chaos.faults",  # fault injections
 )
 
 _loaded = False

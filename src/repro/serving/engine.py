@@ -123,6 +123,11 @@ class SimulatedEngine:
         self.iterations = 0
         #: Optional per-iteration log (see repro.serving.telemetry).
         self.telemetry = None
+        #: Latency multiplier for every executed step (> 1 models a
+        #: degraded "straggler" replica; see repro.chaos).  Guarded at
+        #: each use so the healthy value of 1.0 performs zero extra
+        #: float operations and stays bit-identical to pre-chaos runs.
+        self.slow_factor = 1.0
 
     # ------------------------------------------------------------------
     # Context synthesis
@@ -166,6 +171,8 @@ class SimulatedEngine:
             total_context += req.prefilled + tokens // 2
         latency = self.target_roofline.forward_latency(total_tokens, total_context)
         latency += self.step_overhead_s
+        if self.slow_factor != 1.0:
+            latency *= self.slow_factor
         end = now + latency
         for req, tokens in chunks:
             req.advance_prefill(tokens)
@@ -202,6 +209,8 @@ class SimulatedEngine:
         )
         latency = self.target_roofline.forward_latency(len(requests), context)
         latency += self.step_overhead_s
+        if self.slow_factor != 1.0:
+            latency *= self.slow_factor
         end = now + latency
         if len(requests) >= PREFETCH_MIN_BATCH:
             # One vectorized pass generates the whole batch's next-token
@@ -248,6 +257,8 @@ class SimulatedEngine:
             decode_tokens + chunk_tokens, context
         )
         latency += self.step_overhead_s
+        if self.slow_factor != 1.0:
+            latency *= self.slow_factor
         end = now + latency
         if decode_tokens >= PREFETCH_MIN_BATCH:
             self.pair.target.prefetch(
@@ -290,6 +301,8 @@ class SimulatedEngine:
             total += self.draft_roofline.forward_latency(
                 tokens, context_tokens, launch_overhead=overhead
             )
+        if self.slow_factor != 1.0:
+            total *= self.slow_factor
         self.phase_times.speculation_s += total
         return total
 
@@ -313,6 +326,8 @@ class SimulatedEngine:
         """
         total = speculated_tokens + extra_prefill_tokens
         latency = self.target_roofline.forward_latency(total, context_tokens)
+        if self.slow_factor != 1.0:
+            latency *= self.slow_factor
         if total > 0:
             self.phase_times.verification_s += latency * (speculated_tokens / total)
             self.phase_times.prefill_s += latency * (extra_prefill_tokens / total)

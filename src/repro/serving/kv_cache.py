@@ -118,6 +118,18 @@ class KVCacheManager:
         self._used -= blocks
         return blocks
 
+    def invalidate_all(self) -> None:
+        """Drop every allocation — the device's memory is gone.
+
+        Models a replica crash (see :mod:`repro.chaos`): unlike
+        :meth:`free`, which releases one request in an orderly fashion,
+        this wipes the whole cache at once.  The manager stays usable
+        (capacity unchanged) for defensive callers, though a crashed
+        replica normally swaps in a fresh engine + manager afterwards.
+        """
+        self._allocated.clear()
+        self._used = 0
+
     def stats(self) -> KVStats:
         """Occupancy snapshot."""
         return KVStats(

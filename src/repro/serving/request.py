@@ -67,6 +67,9 @@ class Request:
     last_token_time: float | None = None
     finish_time: float | None = None
     preempt_count: int = 0
+    #: Times this request was evacuated from a crashed replica and
+    #: re-routed (chaos runs only; see repro.chaos).
+    failover_count: int = 0
     #: Prompt tokens served from a shared prefix cache instead of being
     #: prefilled (cumulative over admissions; see repro.prefixcache).
     cached_prompt_tokens: int = 0
@@ -204,6 +207,23 @@ class Request:
         if drop_kv:
             self.prefilled = 0
 
+    def fail_over(self) -> None:
+        """Reset runtime state after the owning replica crashed.
+
+        The replica's KV — shared prefix blocks included — is gone, so
+        the request re-enters the queue as if it had never been
+        scheduled: prefill progress and context are dropped while
+        generation counts persist (those tokens were already delivered),
+        mirroring preempt-with-drop semantics.  Valid from any
+        unfinished state, including mid-prefill.
+        """
+        if self.state == RequestState.FINISHED:
+            raise ValueError(f"request {self.rid}: fail_over after finish")
+        self.state = RequestState.QUEUED
+        self.prefilled = 0
+        self.ctx = 0
+        self.failover_count += 1
+
     def resume(self) -> None:
         """Return a preempted request to the running state (KV retained)."""
         if self.state != RequestState.PREEMPTED:
@@ -290,6 +310,7 @@ class Request:
         clone.last_token_time = None
         clone.finish_time = None
         clone.preempt_count = 0
+        clone.failover_count = 0
         clone.cached_prompt_tokens = 0
         clone.verify_steps = 0
         clone.accepted_draft_tokens = 0

@@ -142,6 +142,30 @@ class Scheduler(abc.ABC):
         """
         self._retire_finished()
 
+    def evacuate(self) -> list[Request]:
+        """Surrender every unfinished request (replica-crash support).
+
+        Retires finished requests first (their prefix commits and KV
+        frees run normally), then removes and returns the rest — waiting
+        queue in FCFS order, then the running batch in batch order —
+        releasing each one's KV and shared prefix references on the way
+        out.  Request-side hit accounting is untouched: as with
+        preempt-with-drop, cached tokens a past pass genuinely served
+        stay counted, and any *unconsumed* hit was already rolled back
+        at batch entry (see :meth:`_unlock_prefix`), so there is nothing
+        left to revert.  The caller owns resetting request state
+        (:meth:`Request.fail_over`) and re-routing.
+        """
+        self._retire_finished()
+        victims = list(self.waiting) + list(self.running)
+        for req in victims:
+            self.engine.kv.free(req.rid)
+        self.waiting.clear()
+        self.running = []
+        self._finished_in_running = 0
+        self._last_decode_context = 0
+        return victims
+
     # ------------------------------------------------------------------
     # Shared machinery
     # ------------------------------------------------------------------

@@ -32,6 +32,9 @@ class SimulationReport:
     iterations: int
     phase_breakdown: dict[str, float]
     requests: list[Request]
+    #: Incident report (fault timeline + recovery milestones) for runs
+    #: with an active fault schedule; None otherwise.  See repro.chaos.
+    chaos: dict | None = None
 
     @property
     def attainment(self) -> float:

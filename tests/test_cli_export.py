@@ -7,7 +7,7 @@ import json
 import pytest
 
 from repro import __version__ as repro_version
-from repro.analysis.cache import SCHEMA_VERSION
+from repro.analysis.export import REPORT_SCHEMA_VERSION
 from repro.analysis.export import (
     metrics_from_dict,
     metrics_to_dict,
@@ -209,7 +209,7 @@ class TestCLIOut:
         assert payload["scheduler"] == "vLLM"
         assert payload["metrics"]["num_requests"] > 0
         # Exports are self-describing: schema + package version embedded.
-        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION
         assert payload["repro_version"] == repro_version
         assert "NaN" not in out_file.read_text()
 
@@ -219,7 +219,7 @@ class TestCLIOut:
                 "--trace", "steady", "--no-cache", "--out", str(out_file)]
         assert main(argv) == 0
         payload = json.loads(out_file.read_text())
-        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["schema_version"] == REPORT_SCHEMA_VERSION
         assert payload["repro_version"] == repro_version
         points = payload["points"]
         assert sorted(p["x"] for p in points) == [1.0, 2.0]

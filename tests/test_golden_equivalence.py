@@ -100,6 +100,37 @@ GOLDEN = [
         ),
         "3e2f2183135a5f34d2c6346760f0b85d0ebe3a572b2fa657f3024bb7c5075917",
     ),
+    # Chaos scenarios (PR 6): fixed-seed fault injection must be exactly
+    # as reproducible as every other run — the whole fault timeline
+    # (including auto-placed draws) is a pure function of the spec.
+    (
+        "chaos-crash-straggler-fleet",
+        dict(
+            system="vllm",
+            rps=9.0,
+            duration_s=12.0,
+            trace="sessions",
+            prefix_cache=True,
+            replicas=3,
+            router="prefix-affinity",
+            faults=("crash:at=4,replica=1,restart=3", "straggler:at=2,replica=0,slow=1.5,duration=5"),
+        ),
+        "6584468208605d6b340d54df304e2987775a399294d5bb21b143a5395ae9da9c",
+    ),
+    (
+        "chaos-auto-faults",
+        dict(
+            system="vllm",
+            rps=10.0,
+            duration_s=12.0,
+            trace="bursty",
+            replicas=3,
+            router="least-loaded",
+            faults=("crash", "straggler:slow=2.0"),
+            seed=4,
+        ),
+        "42690dc163aae93c63cddd7111a01180ceddd1757a8c929a755f6a47fa18b48b",
+    ),
 ]
 
 
