@@ -148,13 +148,25 @@ def run_once(
     system: str,
     requests: list[Request],
     max_sim_time_s: float = 7200.0,
+    observer=None,
     **scheduler_overrides,
 ) -> SimulationReport:
-    """Run one system over one workload on a fresh engine."""
+    """Run one system over one workload on a fresh engine.
+
+    ``observer`` (a :class:`~repro.obs.observer.RunObserver`) attaches
+    lifecycle tracing + gauge sampling; observation is passive, so the
+    report is byte-identical with or without it.
+    """
     engine = setup.build_engine()
+    if observer is not None:
+        observer.attach_engine(engine, replica=0)
     scheduler = make_scheduler(system, engine, **scheduler_overrides)
     sim = ServingSimulator(
-        engine, scheduler, _clone_requests(requests), max_sim_time_s=max_sim_time_s
+        engine,
+        scheduler,
+        _clone_requests(requests),
+        max_sim_time_s=max_sim_time_s,
+        observer=observer,
     )
     return sim.run()
 
@@ -168,6 +180,7 @@ def run_cluster(
     autoscale: dict | None = None,
     faults: Sequence[str] | None = None,
     max_sim_time_s: float = 7200.0,
+    observer=None,
     **scheduler_overrides,
 ) -> FleetReport:
     """Run one system as a router-fronted fleet over one workload.
@@ -181,12 +194,16 @@ def run_cluster(
     strings (``crash:at=120,replica=1``, ``straggler:slow=2.0``, ...)
     materialized into a deterministic :class:`FaultSchedule` seeded from
     ``setup.seed`` — fixed-seed chaos runs are byte-identical across
-    repeats.
+    repeats.  ``observer`` (a :class:`~repro.obs.observer.RunObserver`)
+    attaches tracing to every engine the factory ever builds — initial
+    fleet, autoscaled additions, and crash replacements alike.
     """
 
     def replica_factory(index: int):
         replica_setup = replace(setup, seed=derive_seed(setup.seed, "fleet", index))
         engine = replica_setup.build_engine()
+        if observer is not None:
+            observer.attach_engine(engine, replica=index)
         return engine, make_scheduler(system, engine, **scheduler_overrides)
 
     autoscaler_config = None
@@ -214,5 +231,6 @@ def run_cluster(
         autoscaler_config=autoscaler_config,
         fault_schedule=fault_schedule,
         max_sim_time_s=max_sim_time_s,
+        observer=observer,
     )
     return fleet.run()

@@ -57,6 +57,7 @@ __all__ = [
     "derive_seed",
     "execute_point",
     "run_spec",
+    "run_traced",
 ]
 
 #: Legacy flat trace names (the authoritative enumeration, including
@@ -80,7 +81,7 @@ def build_workload(setup: Setup, config: ExperimentSpec) -> list[Request]:
     return TRACES.create(w.trace, gen, w.duration_s, w.rps, mix=mix)
 
 
-def run_spec(config: ExperimentSpec) -> SimulationReport:
+def run_spec(config: ExperimentSpec, observer=None) -> SimulationReport:
     """Execute one spec fresh and return the live report (no cache).
 
     The single build-and-run recipe behind :func:`execute_point`, the
@@ -88,7 +89,8 @@ def run_spec(config: ExperimentSpec) -> SimulationReport:
     tests — so every consumer simulates exactly the configuration real
     experiments would.  Cluster points (``replicas > 1`` or autoscaling)
     run through :func:`~repro.analysis.harness.run_cluster` and return
-    the fleet-level summary.
+    the fleet-level summary.  ``observer`` (see :func:`run_traced`)
+    attaches passive observability; it never changes the report.
     """
     setup = build_setup(
         config.system.model,
@@ -110,10 +112,34 @@ def run_spec(config: ExperimentSpec) -> SimulationReport:
             ),
             faults=config.chaos.faults if config.chaos.enabled else None,
             max_sim_time_s=config.system.max_sim_time_s,
+            observer=observer,
         ).summary
     return run_once(
-        setup, config.system.name, requests, max_sim_time_s=config.system.max_sim_time_s
+        setup,
+        config.system.name,
+        requests,
+        max_sim_time_s=config.system.max_sim_time_s,
+        observer=observer,
     )
+
+
+def run_traced(config: ExperimentSpec):
+    """Execute one spec fresh with its ``obs`` section attached.
+
+    Returns ``(report, observer)`` where ``observer`` is the
+    :class:`~repro.obs.observer.RunObserver` holding the trace
+    collector, gauge sampler, and iteration logs the run produced.
+    Always simulates fresh (never consults the result cache): traces are
+    a by-product of execution, so a cache hit would have nothing to
+    return — and because the ``obs`` section is excluded from the cache
+    key, traced runs still *validate* against cached results via their
+    byte-identical reports.
+    """
+    from repro.obs import RunObserver
+
+    observer = RunObserver.from_spec(config.obs)
+    report = run_spec(config, observer=observer)
+    return report, observer
 
 
 def execute_point(config: ExperimentSpec) -> dict:

@@ -11,7 +11,11 @@ nested sections:
   autoscaler knobs;
 - :class:`ChaosSpec` — under what faults: deterministic fault-injection
   specs (omitted from the canonical form when empty, so chaos-free cache
-  keys are unchanged).
+  keys are unchanged);
+- :class:`~repro.obs.spec.ObsSpec` — how the run is *watched*: lifecycle
+  tracing and gauge sampling (see :mod:`repro.obs`).  Observation is
+  passive and can never change a result, so this section is **never**
+  part of the canonical payload or cache key.
 
 Construction **canonicalizes**: component references are spec strings
 (see :mod:`repro.registry`) rewritten to their canonical form (aliases
@@ -45,6 +49,7 @@ from dataclasses import asdict, dataclass, field, replace
 from repro._rng import derive_seed
 from repro.analysis.cache import config_key
 from repro.cluster.autoscaler import AutoscalerConfig
+from repro.obs.spec import ObsSpec
 from repro.registry import FAULTS, MODELS, ROUTERS, SYSTEMS, TRACES, SpecError
 
 
@@ -209,6 +214,10 @@ class ExperimentSpec:
     system: SystemSpec = field(default_factory=SystemSpec)
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
     chaos: ChaosSpec = field(default_factory=ChaosSpec)
+    #: Observability section (see :mod:`repro.obs`).  Excluded from
+    #: :meth:`to_dict` — and therefore from the cache key — by design:
+    #: observation is passive, so it cannot fork results.
+    obs: ObsSpec = field(default_factory=ObsSpec)
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -228,6 +237,7 @@ class ExperimentSpec:
         router: str = "round-robin",
         autoscale: Mapping[str, float] | None = None,
         faults: Sequence[str] | str | None = None,
+        obs: ObsSpec | None = None,
     ) -> "ExperimentSpec":
         """Flat-keyword constructor (the historical ``ExperimentConfig.create``).
 
@@ -260,6 +270,7 @@ class ExperimentSpec:
                 autoscale=tuple(autoscale.items()) if isinstance(autoscale, Mapping) else autoscale,
             ),
             chaos=ChaosSpec(faults=faults),
+            obs=obs if obs is not None else ObsSpec(),
         )
 
     @classmethod
@@ -295,6 +306,8 @@ class ExperimentSpec:
         Defaulted-knob canonicalization: the ``chaos`` section appears
         only when faults are declared, so every chaos-free spec keeps
         the exact payload (and cache key) it had before chaos existed.
+        The ``obs`` section never appears at all — observation is
+        passive, so an observability knob must never fork a cache key.
         """
         d = {
             "workload": self.workload.to_dict(),

@@ -11,13 +11,17 @@ The subcommands mirror how the repository is used:
 - ``list``: introspect the component registries (systems, routers,
   traces, models) with their parameter schemas;
 - ``bench``: measure the *simulator's* own throughput (iterations per
-  wall-second) over the standard perf suite and write ``BENCH_PR6.json``
+  wall-second) over the standard perf suite and write ``BENCH_PR7.json``
   (see :mod:`repro.perfbench`); ``--baseline`` (defaulting to the newest
   committed ``BENCH_PR*.json``) warns on perf regressions and **fails**
   on fixed-seed digest divergence;
 - ``chaos-report``: run one fault-injection experiment and export its
   incident timeline (strict JSON via ``--out``, GitHub-markdown table
   via ``--markdown`` — CI appends it to the job summary);
+- ``trace``: run one experiment with observability on (see
+  :mod:`repro.obs`) and export a Perfetto/Chrome ``trace_event`` JSON
+  (``--out``), an optional gauge time-series (``--series-out``), and a
+  top-N slowest-requests table;
 - ``profile``: hardware profiling (Table 1 derived quantities).
 
 Components are referenced by registry spec strings — ``adaserve``,
@@ -43,6 +47,7 @@ Examples
     python -m repro cluster --replicas 4 --router affinity:reserve=0.5 --rps 12 --trace diurnal
     python -m repro cluster --replicas 3 --faults crash:at=20,replica=1 --faults straggler:slow=2
     python -m repro chaos-report --replicas 3 --router affinity --faults crash --markdown
+    python -m repro trace --replicas 2 --faults crash --duration 20 --out trace.json
     python -m repro list systems
     python -m repro profile --model llama70b
 """
@@ -61,6 +66,7 @@ from repro.analysis.harness import build_setup
 from repro.analysis.report import format_table, point_from_metrics, series_table
 from repro.analysis.runner import ExperimentConfig, SweepRunner
 from repro.analysis.spec import SYSTEM_FIELD_AXES, apply_axis, parse_grid_axis
+from repro.obs import ObsSpec
 from repro.hardware.profiler import HardwareProfiler
 from repro.perfbench.suite import DEFAULT_OUT as _DEFAULT_BENCH_OUT
 from repro.registry import FAULTS, MODELS, ROUTERS, SYSTEMS, TRACES, SpecError
@@ -165,6 +171,24 @@ def _add_cache_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a Perfetto/Chrome trace of this run (always simulates "
+        "fresh, bypassing the result cache; see also `repro trace`)",
+    )
+    p.add_argument(
+        "--sample-every",
+        type=_positive_float,
+        default=0.5,
+        metavar="SECONDS",
+        help="gauge sampling period in simulated seconds when tracing "
+        "(default: 0.5)",
+    )
+
+
 def _resolve_cache(cache_dir: str | None) -> ResultCache:
     return ResultCache(cache_dir) if cache_dir else ResultCache()
 
@@ -182,6 +206,7 @@ def _config_for(
     replicas: int = 1,
     router: str = "round-robin",
     autoscale: dict | None = None,
+    obs: ObsSpec | None = None,
 ) -> ExperimentConfig:
     mix = urgent_mix(args.urgent_fraction) if args.urgent_fraction is not None else None
     return ExperimentConfig.create(
@@ -199,7 +224,42 @@ def _config_for(
         router=router,
         autoscale=autoscale,
         faults=tuple(args.faults) if args.faults else None,
+        obs=obs,
     )
+
+
+def _obs_spec(args) -> ObsSpec:
+    """The ``ObsSpec`` section implied by the ``--trace-out`` flags."""
+    return ObsSpec(
+        trace=getattr(args, "trace_out", None) is not None,
+        sample_every_s=getattr(args, "sample_every", 0.5),
+    )
+
+
+def _run_point(args, config: ExperimentConfig):
+    """One point through the result cache — or fresh when tracing is on.
+
+    Returns ``(report, stats_line)``.  Traced runs always simulate (a
+    cache hit would have no trace to return) and write the Perfetto
+    export as a side effect; the report itself is byte-identical either
+    way because observation is strictly passive.
+    """
+    if config.obs.enabled:
+        from repro.analysis.runner import run_traced
+        from repro.obs import perfetto_json
+
+        report, observer = run_traced(config)
+        _write_out(
+            args.trace_out,
+            perfetto_json(observer.collector, observer.sampler, chaos=report.chaos),
+        )
+        print(
+            "open the trace in https://ui.perfetto.dev (or chrome://tracing)",
+            file=sys.stderr,
+        )
+        return report, "cache: bypassed (--trace-out always simulates); simulations executed: 1"
+    runner = SweepRunner(cache=_make_cache(args), jobs=1)
+    return runner.run([config])[0].report, runner.stats_line()
 
 
 def _write_out(path: str | None, text: str) -> None:
@@ -242,11 +302,11 @@ def _print_report(report, model: str) -> None:
 
 
 def _cmd_run(args) -> int:
-    runner = SweepRunner(cache=_make_cache(args), jobs=1)
-    result = runner.run([_config_for(args, args.system, args.rps)])[0]
-    _print_report(result.report, args.model)
-    print(runner.stats_line())
-    _write_out(args.out, report_to_json(result.report))
+    config = _config_for(args, args.system, args.rps, obs=_obs_spec(args))
+    report, stats = _run_point(args, config)
+    _print_report(report, args.model)
+    print(stats)
+    _write_out(args.out, report_to_json(report))
     return 0
 
 
@@ -284,15 +344,15 @@ def _cmd_cluster(args) -> int:
     config = _config_for(
         args, args.system, args.rps,
         replicas=args.replicas, router=args.router, autoscale=autoscale,
+        obs=_obs_spec(args),
     )
-    runner = SweepRunner(cache=_make_cache(args), jobs=1)
-    result = runner.run([config])[0]
-    _print_report(result.report, args.model)
+    report, stats = _run_point(args, config)
+    _print_report(report, args.model)
     print(
         f"replicas: {args.replicas}   router: {args.router}   "
         f"autoscale: {'on' if autoscale is not None else 'off'}"
     )
-    chaos = result.report.chaos
+    chaos = report.chaos
     if chaos is not None:
         line = (
             f"chaos: {chaos['num_crashes']} crash(es), "
@@ -302,8 +362,8 @@ def _cmd_cluster(args) -> int:
         if chaos["mean_recovery_time_s"] is not None:
             line += f", mean recovery {chaos['mean_recovery_time_s']:.3f}s"
         print(line + "  (full timeline: repro chaos-report)")
-    print(runner.stats_line())
-    _write_out(args.out, report_to_json(result.report))
+    print(stats)
+    _write_out(args.out, report_to_json(report))
     return 0
 
 
@@ -466,6 +526,12 @@ def _cmd_bench(args) -> int:
         pstats_path = str(Path(args.out).with_suffix(".pstats"))
         profiler.dump_stats(pstats_path)
         print(f"wrote {pstats_path}", file=sys.stderr)
+        print(
+            f"inspect it with `python -m pstats {pstats_path}` "
+            "(then e.g. `sort cumtime` + `stats 20`), or `snakeviz "
+            f"{pstats_path}` for a flame graph if installed",
+            file=sys.stderr,
+        )
     else:
         result = run_suite(quick=args.quick, progress=progress)
 
@@ -509,14 +575,14 @@ def _cmd_chaos_report(args) -> int:
     config = _config_for(
         args, args.system, args.rps,
         replicas=args.replicas, router=args.router,
+        obs=_obs_spec(args),
     )
-    runner = SweepRunner(cache=_make_cache(args), jobs=1)
-    result = runner.run([config])[0]
-    chaos = result.report.chaos
+    report, stats = _run_point(args, config)
+    chaos = report.chaos
     if chaos is None:
         print("error: run produced no chaos report", file=sys.stderr)
         return 2
-    print(runner.stats_line(), file=sys.stderr)
+    print(stats, file=sys.stderr)
     if args.out:
         payload = {
             "schema_version": REPORT_SCHEMA_VERSION,
@@ -526,6 +592,50 @@ def _cmd_chaos_report(args) -> int:
         text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
         _write_out(args.out, text)
     print(format_incident_table(chaos, markdown=args.markdown))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Run one experiment with tracing on and export its artifacts.
+
+    Always simulates fresh (traced runs never consult the result cache;
+    the ``obs`` section is excluded from cache keys, so the run's report
+    still matches the cached, untraced point byte for byte).  Stdout
+    carries only the top-N slowest-requests table (plain text, or a
+    GitHub markdown table with ``--markdown``); run status goes to
+    stderr.
+    """
+    from repro.analysis.runner import run_traced
+    from repro.obs import format_slowest_table, perfetto_json, series_to_json
+
+    obs = ObsSpec(
+        trace=True,
+        sample_every_s=args.sample_every,
+        iteration_log=args.iteration_log,
+    )
+    config = _config_for(
+        args, args.system, args.rps,
+        replicas=args.replicas, router=args.router, obs=obs,
+    )
+    report, observer = run_traced(config)
+    _write_out(
+        args.out,
+        perfetto_json(observer.collector, observer.sampler, chaos=report.chaos),
+    )
+    m = report.metrics
+    print(
+        f"traced {m.num_requests} request(s): {len(observer.collector)} trace "
+        f"event(s), {len(observer.sampler)} gauge sample(s) over "
+        f"{report.sim_time_s:.1f}s simulated",
+        file=sys.stderr,
+    )
+    print(
+        "open the trace in https://ui.perfetto.dev (or chrome://tracing)",
+        file=sys.stderr,
+    )
+    if args.series_out:
+        _write_out(args.series_out, series_to_json(observer))
+    print(format_slowest_table(report.requests, n=args.top, markdown=args.markdown))
     return 0
 
 
@@ -562,6 +672,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--rps", type=_positive_float, default=4.0)
     p_run.add_argument("--max-sim-time", type=_positive_float, default=1800.0)
     p_run.add_argument("--out", default=None, help="write the report as strict JSON")
+    _add_obs_args(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="RPS sweep over systems")
@@ -638,6 +749,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cluster.add_argument("--max-sim-time", type=_positive_float, default=1800.0)
     p_cluster.add_argument("--out", default=None, help="write the report as strict JSON")
+    _add_obs_args(p_cluster)
     p_cluster.set_defaults(func=_cmd_cluster)
 
     p_list = sub.add_parser(
@@ -718,7 +830,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the incident table as GitHub markdown "
         "(stdout carries only the table, e.g. for $GITHUB_STEP_SUMMARY)",
     )
+    _add_obs_args(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos_report)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one experiment with tracing on and export a Perfetto trace",
+    )
+    _add_workload_args(p_trace)
+    p_trace.add_argument("--system", type=_system_spec, default="adaserve")
+    p_trace.add_argument("--rps", type=_positive_float, default=8.0)
+    p_trace.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=1,
+        help="replica fleet size (> 1 or --faults forces the fleet path)",
+    )
+    p_trace.add_argument(
+        "--router",
+        type=_router_spec,
+        default="round-robin",
+        help="routing policy spec (see `repro list routers`), e.g. affinity:reserve=0.4",
+    )
+    p_trace.add_argument("--max-sim-time", type=_positive_float, default=1800.0)
+    p_trace.add_argument(
+        "--sample-every",
+        type=_positive_float,
+        default=0.5,
+        metavar="SECONDS",
+        help="gauge sampling period in simulated seconds (default: 0.5)",
+    )
+    p_trace.add_argument(
+        "--iteration-log",
+        action="store_true",
+        help="also record per-iteration engine telemetry "
+        "(exported under --series-out)",
+    )
+    p_trace.add_argument(
+        "--out",
+        default="trace.json",
+        help="Perfetto/Chrome trace_event JSON path (default: trace.json)",
+    )
+    p_trace.add_argument(
+        "--series-out",
+        default=None,
+        metavar="FILE",
+        help="also write the sampled gauge time-series (strict JSON)",
+    )
+    p_trace.add_argument(
+        "--top",
+        type=_positive_int,
+        default=10,
+        help="slowest-requests table size (default: 10)",
+    )
+    p_trace.add_argument(
+        "--markdown",
+        action="store_true",
+        help="print the slowest-requests table as GitHub markdown "
+        "(stdout carries only the table, e.g. for $GITHUB_STEP_SUMMARY)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_prof = sub.add_parser("profile", help="hardware profiling for a deployment")
     p_prof.add_argument("--model", type=_model_spec, default="llama70b")

@@ -98,6 +98,11 @@ class FleetSimulator:
     max_sim_time_s / max_iterations:
         Safety cutoffs, as in the single-engine simulator; iterations are
         counted fleet-wide.
+    observer:
+        Optional :class:`~repro.obs.observer.RunObserver`; enables
+        lifecycle tracing, fleet-event markers, and periodic gauge
+        sampling.  Observation is passive — an observed run's report is
+        byte-identical to an unobserved one's.
     """
 
     def __init__(
@@ -110,12 +115,17 @@ class FleetSimulator:
         fault_schedule: FaultSchedule | None = None,
         max_sim_time_s: float = 7200.0,
         max_iterations: int = 2_000_000,
+        observer=None,
     ) -> None:
         if num_replicas < 1:
             raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
         self.replica_factory = replica_factory
         self.requests = list(requests)
         self.router = router
+        # Observability (repro.obs): fleet-level markers go straight to
+        # the collector; gauge ticks fire lazily from the event loop.
+        self._obs = observer.collector if observer is not None else None
+        self._sampler = observer.sampler if observer is not None else None
         self.autoscaler = (
             Autoscaler(autoscaler_config) if autoscaler_config is not None else None
         )
@@ -154,6 +164,8 @@ class FleetSimulator:
         self._scaleup_extra = 0.0
         for i, event in enumerate(self._chaos_events):
             heapq.heappush(self._event_heap, (event.at_s, 0, i))
+        if observer is not None:
+            observer.bind_fleet(self)
 
     # ------------------------------------------------------------------
     def _spawn(self, index: int, available_at: float) -> Replica:
@@ -198,6 +210,10 @@ class FleetSimulator:
             self.replicas.append(replica)
             self._warming.append(replica)
             self.scale_events.append(ScaleEvent(now, "up", index))
+            if self._obs is not None:
+                self._obs.event(
+                    now, "scale-up", replica=index, data={"warmup_s": warmup}
+                )
             self._live += 1
             self._peak_live = max(self._peak_live, self._live)
         elif decision < 0:
@@ -205,6 +221,8 @@ class FleetSimulator:
             if victim is not None:
                 self._drain(victim)
                 self.scale_events.append(ScaleEvent(now, "down", victim.index))
+                if self._obs is not None:
+                    self._obs.event(now, "scale-down", replica=victim.index)
 
     def _drain(self, victim: Replica) -> None:
         """Flag a replica as draining and pull it from the routable pool."""
@@ -272,6 +290,13 @@ class FleetSimulator:
             replica.engine.slow_factor = event.slow
             log.note(now, "straggler", replica=replica.index, slow=event.slow,
                      duration_s=event.duration_s)
+            if self._obs is not None:
+                self._obs.event(
+                    now,
+                    "straggler",
+                    replica=replica.index,
+                    data={"slow": event.slow, "duration_s": event.duration_s},
+                )
             if event.duration_s is not None:
                 self._push_fault(
                     FaultEvent(
@@ -288,9 +313,13 @@ class FleetSimulator:
             if not replica.retired and replica.engine.slow_factor == event.slow:
                 replica.engine.slow_factor = 1.0
                 log.note(now, "straggler-end", replica=replica.index)
+                if self._obs is not None:
+                    self._obs.event(now, "straggler-end", replica=replica.index)
         elif kind == "scale-delay":
             self._scaleup_extra = event.extra_s
             log.note(now, "scale-delay", extra_s=event.extra_s)
+            if self._obs is not None:
+                self._obs.event(now, "scale-delay", data={"extra_s": event.extra_s})
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown fault kind {kind!r}")
 
@@ -327,6 +356,14 @@ class FleetSimulator:
             self._push_fault(
                 FaultEvent(at_s=restart_at, kind="restart", replica=replica.index)
             )
+        obs = self._obs
+        if obs is not None:
+            obs.event(
+                now,
+                "crash",
+                replica=replica.index,
+                data={"restart_at_s": restart_at, "evacuated": len(victims)},
+            )
         requeued = []
         for req in victims:
             req.fail_over()
@@ -336,6 +373,8 @@ class FleetSimulator:
             if not was_busy and not target.failed:
                 heapq.heappush(self._event_heap, (target.local_now, 1, target.index))
             requeued.append(req.rid)
+            if obs is not None:
+                obs.event(now, "failover", replica=replica.index, rid=req.rid)
         log.note(
             now,
             "crash",
@@ -366,6 +405,8 @@ class FleetSimulator:
         log = self._chaos_log
         assert log is not None
         log.note(now, "restart", replica=replica.index)
+        if self._obs is not None:
+            self._obs.event(now, "restart", replica=replica.index)
 
     # ------------------------------------------------------------------
     def run(self) -> FleetReport:
@@ -390,6 +431,12 @@ class FleetSimulator:
         horizon = self.max_sim_time_s
         heap = self._event_heap
         replicas = self.replicas
+        # Gauge sampling is lazy catch-up (repro.obs.sampler): pending
+        # ticks <= the chosen event time fire just before the event is
+        # processed, observing the state held since the previous one —
+        # no heap entries of its own, so the loop's event order, drain
+        # condition, and autoscale cadence are untouched.
+        sampler = self._sampler
 
         while True:
             # Drop stale replica entries (replica stepped, drained, or
@@ -448,12 +495,16 @@ class FleetSimulator:
             ):
                 heapq.heappop(heap)
                 clock.advance_to(event_time)
+                if sampler is not None:
+                    sampler.catch_up(event_time)
                 self._apply_fault(self._chaos_events[fault_index], clock.now)
             elif step_candidate is not None and (
                 next_arrival is None or step_candidate.local_now < next_arrival
             ):
                 heapq.heappop(heap)
                 clock.advance_to(step_candidate.local_now)
+                if sampler is not None:
+                    sampler.catch_up(step_candidate.local_now)
                 step_candidate.step()
                 iterations += 1
                 if iterations > self.max_iterations:
@@ -466,6 +517,8 @@ class FleetSimulator:
                     )
             else:
                 clock.advance_to(next_arrival)
+                if sampler is not None:
+                    sampler.catch_up(clock.now)
                 for req in arrivals.release_until(clock.now):
                     target = self.router.route(req, self._routable(clock.now))
                     was_busy = target.has_work()
@@ -487,6 +540,9 @@ class FleetSimulator:
             default=clock.now,
         )
         sim_time_s = max(clock.now, end_time)
+        if sampler is not None:
+            # Cover the drain tail up to the run's true end time.
+            sampler.catch_up(sim_time_s)
 
         replica_reports = [r.report() for r in self.replicas]
         all_requests = sorted(

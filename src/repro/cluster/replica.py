@@ -92,10 +92,18 @@ class Replica:
         if not self.has_work():
             self.local_now = max(self.local_now, now)
         self.scheduler.admit(req)
+        tracer = self.engine.obs
+        if tracer is not None:
+            tracer.enqueue(now, req)
         self._load_version += 1
 
     def step(self) -> float:
         """Run one iteration at ``local_now``; advance to its boundary."""
+        tracer = self.engine.obs
+        if tracer is not None:
+            # Emission sites without a time parameter of their own
+            # (preemption, prefix lookups) stamp the iteration start.
+            tracer.now = self.local_now
         latency = self.scheduler.step(self.local_now)
         if latency <= 0:
             raise RuntimeError(

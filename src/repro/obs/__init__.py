@@ -1,0 +1,51 @@
+"""Observability: request lifecycle traces, fleet gauges, exporters.
+
+The subsystem is strictly passive and opt-in: nothing here mutates
+simulation state, every emission site in the serving core is guarded by
+an ``if obs is not None`` check (one attribute test when disabled), and
+the :class:`~repro.obs.spec.ObsSpec` section never enters a spec's cache
+key — so obs-free runs keep byte-identical golden digests and cache
+keys, and observed runs produce byte-identical *results* to unobserved
+ones (only the trace is extra).
+
+Entry points:
+
+- ``repro trace`` CLI: run one spec with tracing, export Perfetto +
+  time-series JSON, print the slowest-requests table;
+- :func:`repro.analysis.runner.run_traced`: the same as a library call,
+  returning ``(report, RunObserver)``.
+"""
+
+from repro.obs.export import (
+    TRACE_SCHEMA_VERSION,
+    format_slowest_table,
+    perfetto_json,
+    perfetto_trace,
+    series_to_dict,
+    series_to_json,
+    slowest_requests,
+)
+from repro.obs.observer import RunObserver
+from repro.obs.sampler import FLEET_FIELDS, REPLICA_FIELDS, GaugeSampler, Sample
+from repro.obs.spec import ObsSpec
+from repro.obs.trace import FLEET_TRACK, ReplicaTracer, TraceCollector, TraceEvent
+
+__all__ = [
+    "FLEET_FIELDS",
+    "FLEET_TRACK",
+    "GaugeSampler",
+    "ObsSpec",
+    "REPLICA_FIELDS",
+    "ReplicaTracer",
+    "RunObserver",
+    "Sample",
+    "TRACE_SCHEMA_VERSION",
+    "TraceCollector",
+    "TraceEvent",
+    "format_slowest_table",
+    "perfetto_json",
+    "perfetto_trace",
+    "series_to_dict",
+    "series_to_json",
+    "slowest_requests",
+]

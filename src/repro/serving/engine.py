@@ -123,6 +123,10 @@ class SimulatedEngine:
         self.iterations = 0
         #: Optional per-iteration log (see repro.serving.telemetry).
         self.telemetry = None
+        #: Optional lifecycle tracer (a repro.obs ReplicaTracer).  Every
+        #: emission site is guarded by ``is not None``, so disabled runs
+        #: pay one attribute check and tracing never mutates state.
+        self.obs = None
         #: Latency multiplier for every executed step (> 1 models a
         #: degraded "straggler" replica; see repro.chaos).  Guarded at
         #: each use so the healthy value of 1.0 performs zero extra
@@ -179,6 +183,10 @@ class SimulatedEngine:
             if req.remaining_prompt == 0:
                 req.begin_decode(self.root_ctx(req), end)
                 self._commit_prefix(req, req.prompt_len)
+        obs = self.obs
+        if obs is not None:
+            for req, tokens in chunks:
+                obs.prefill(now, latency, req, tokens)
         self.phase_times.prefill_s += latency
         self.iterations += 1
         return latency
@@ -275,6 +283,10 @@ class SimulatedEngine:
             if req.remaining_prompt == 0:
                 req.begin_decode(self.root_ctx(req), end)
                 self._commit_prefix(req, req.prompt_len)
+        obs = self.obs
+        if obs is not None:
+            for req, tokens in prefill_chunks:
+                obs.prefill(now, latency, req, tokens)
         total = decode_tokens + chunk_tokens
         self.phase_times.decode_s += latency * (decode_tokens / total)
         self.phase_times.prefill_s += latency * (chunk_tokens / total)
@@ -351,11 +363,15 @@ class SimulatedEngine:
         """
         if req.state != RequestState.FINISHED:
             raise ValueError(f"request {req.rid} not finished")
+        if self.obs is not None:
+            self.obs.finish(req)
         self._commit_prefix(req, req.prompt_len + req.n_generated)
         self.kv.free(req.rid)
 
     def preempt(self, req: Request, drop_kv: bool) -> None:
         """Preempt a request, optionally evicting its KV."""
+        if self.obs is not None:
+            self.obs.preempt(req, drop_kv)
         req.preempt(drop_kv)
         if drop_kv:
             self.kv.free(req.rid)

@@ -106,6 +106,9 @@ class Scheduler(abc.ABC):
         cached = min(kv.lock_keys(req.rid, keys), req.prompt_len - 1)
         if cached > 0:
             req.note_prefix_hit(cached)
+        obs = self.engine.obs
+        if obs is not None:
+            obs.prefix_lookup(req, cached)
         return cached
 
     def _unlock_prefix(self, req: Request, tokens: int) -> None:
@@ -120,6 +123,9 @@ class Scheduler(abc.ABC):
             return
         self.engine.kv.release_prefix(req.rid)
         req.rollback_prefix_hit(tokens)
+        obs = self.engine.obs
+        if obs is not None:
+            obs.prefix_rollback(req, tokens)
 
     def has_work(self) -> bool:
         """Whether an iteration can make progress.

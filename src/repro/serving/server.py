@@ -63,6 +63,11 @@ class ServingSimulator:
         as violations) if simulated time exceeds it.
     max_iterations:
         Safety cap on scheduler iterations.
+    observer:
+        Optional :class:`~repro.obs.observer.RunObserver`; enables
+        lifecycle tracing + periodic gauge sampling.  Observation is
+        passive — an observed run's report is byte-identical to an
+        unobserved one's.
     """
 
     def __init__(
@@ -72,6 +77,7 @@ class ServingSimulator:
         requests: list[Request],
         max_sim_time_s: float = 7200.0,
         max_iterations: int = 2_000_000,
+        observer=None,
     ) -> None:
         if scheduler.engine is not engine:
             raise ValueError("scheduler must wrap the provided engine")
@@ -80,16 +86,31 @@ class ServingSimulator:
         self.requests = list(requests)
         self.max_sim_time_s = max_sim_time_s
         self.max_iterations = max_iterations
+        self.observer = observer
 
     def run(self) -> SimulationReport:
         """Execute the simulation to completion (or safety cutoff)."""
         clock = SimClock()
         arrivals = ArrivalStream(self.requests)
         iterations = 0
+        sampler = None
+        if self.observer is not None:
+            self.observer.bind_solo(self.scheduler, self.engine)
+            sampler = self.observer.sampler
+        # The tracer (if any) was installed as ``engine.obs`` by the
+        # harness; a solo run never swaps engines, so bind it once.
+        tracer = self.engine.obs
 
         while True:
+            # Gauge ticks <= now fire before this boundary's admissions,
+            # capturing the state held since the previous event.
+            if sampler is not None:
+                sampler.catch_up(clock.now)
+
             for req in arrivals.release_until(clock.now):
                 self.scheduler.admit(req)
+                if tracer is not None:
+                    tracer.enqueue(clock.now, req)
 
             if not self.scheduler.has_work():
                 nxt = arrivals.next_arrival
@@ -98,6 +119,8 @@ class ServingSimulator:
                 clock.advance_to(nxt)
                 continue
 
+            if tracer is not None:
+                tracer.now = clock.now
             latency = self.scheduler.step(clock.now)
             if latency <= 0:
                 raise RuntimeError(
@@ -113,6 +136,8 @@ class ServingSimulator:
                     f"{self.scheduler.name}: exceeded {self.max_iterations} iterations"
                 )
 
+        if sampler is not None:
+            sampler.catch_up(clock.now)
         self.scheduler.finalize()
         all_requests = self.scheduler.all_requests()
         return SimulationReport(

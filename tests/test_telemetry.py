@@ -91,3 +91,15 @@ class TestEngineIntegration:
         ServingSimulator(engine, AdaServeScheduler(engine), reqs).run()
         times = [r.time_s for r in engine.telemetry.records]
         assert times == sorted(times)
+
+    def test_observer_attaches_log(self, engine):
+        # The obs layer wires the (formerly manual) IterationLog without
+        # the caller touching engine.telemetry.
+        from repro.obs import RunObserver
+
+        observer = RunObserver(trace=False, iteration_log=True)
+        observer.attach_engine(engine, replica=0)
+        assert engine.telemetry is observer.iteration_logs[0]
+        reqs = [make_request(rid=0, prompt_len=10, max_new_tokens=12)]
+        ServingSimulator(engine, AdaServeScheduler(engine), reqs).run()
+        assert len(observer.iteration_logs[0]) > 0
