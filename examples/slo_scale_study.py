@@ -81,7 +81,7 @@ def main(model: str = "llama70b") -> None:
         rows.append(cells)
 
     print("\nattainment / goodput (tokens/s):")
-    print(format_table(["scale"] + [s for s in SYSTEMS], rows))
+    print(format_table(["scale", *SYSTEMS], rows))
     print(
         "\nReading: continuous batching (vllm, sarathi) collapses once the "
         "scale drops below 1.0 — a uniform iteration takes longer than the "

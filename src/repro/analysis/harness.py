@@ -149,24 +149,30 @@ def run_once(
     requests: list[Request],
     max_sim_time_s: float = 7200.0,
     observer=None,
+    invariants=None,
     **scheduler_overrides,
 ) -> SimulationReport:
     """Run one system over one workload on a fresh engine.
 
     ``observer`` (a :class:`~repro.obs.observer.RunObserver`) attaches
-    lifecycle tracing + gauge sampling; observation is passive, so the
-    report is byte-identical with or without it.
+    lifecycle tracing + gauge sampling; ``invariants`` (a
+    :class:`~repro.check.invariants.InvariantChecker`) attaches the
+    runtime sanitizer.  Both are passive, so the report is byte-identical
+    with or without them.
     """
     engine = setup.build_engine()
     if observer is not None:
         observer.attach_engine(engine, replica=0)
     scheduler = make_scheduler(system, engine, **scheduler_overrides)
+    if invariants is not None:
+        invariants.attach(engine, scheduler, replica=0)
     sim = ServingSimulator(
         engine,
         scheduler,
         _clone_requests(requests),
         max_sim_time_s=max_sim_time_s,
         observer=observer,
+        invariants=invariants,
     )
     return sim.run()
 
@@ -181,6 +187,7 @@ def run_cluster(
     faults: Sequence[str] | None = None,
     max_sim_time_s: float = 7200.0,
     observer=None,
+    invariants=None,
     **scheduler_overrides,
 ) -> FleetReport:
     """Run one system as a router-fronted fleet over one workload.
@@ -196,7 +203,9 @@ def run_cluster(
     ``setup.seed`` — fixed-seed chaos runs are byte-identical across
     repeats.  ``observer`` (a :class:`~repro.obs.observer.RunObserver`)
     attaches tracing to every engine the factory ever builds — initial
-    fleet, autoscaled additions, and crash replacements alike.
+    fleet, autoscaled additions, and crash replacements alike; the same
+    holds for ``invariants`` (an
+    :class:`~repro.check.invariants.InvariantChecker`).
     """
 
     def replica_factory(index: int):
@@ -204,7 +213,10 @@ def run_cluster(
         engine = replica_setup.build_engine()
         if observer is not None:
             observer.attach_engine(engine, replica=index)
-        return engine, make_scheduler(system, engine, **scheduler_overrides)
+        scheduler = make_scheduler(system, engine, **scheduler_overrides)
+        if invariants is not None:
+            invariants.attach(engine, scheduler, replica=index)
+        return engine, scheduler
 
     autoscaler_config = None
     if autoscale is not None:
@@ -232,5 +244,6 @@ def run_cluster(
         fault_schedule=fault_schedule,
         max_sim_time_s=max_sim_time_s,
         observer=observer,
+        invariants=invariants,
     )
     return fleet.run()

@@ -60,7 +60,7 @@ def series_table(
     systems = sorted({p.system for p in points})
     xs = sorted({p.x for p in points})
     lookup = {(p.x, p.system): getattr(p, value) for p in points}
-    headers = [x_label] + systems
+    headers = [x_label, *systems]
     rows = []
     for x in xs:
         row = [f"{x:g}"]

@@ -81,7 +81,9 @@ def build_workload(setup: Setup, config: ExperimentSpec) -> list[Request]:
     return TRACES.create(w.trace, gen, w.duration_s, w.rps, mix=mix)
 
 
-def run_spec(config: ExperimentSpec, observer=None) -> SimulationReport:
+def run_spec(
+    config: ExperimentSpec, observer=None, invariants=None
+) -> SimulationReport:
     """Execute one spec fresh and return the live report (no cache).
 
     The single build-and-run recipe behind :func:`execute_point`, the
@@ -90,7 +92,10 @@ def run_spec(config: ExperimentSpec, observer=None) -> SimulationReport:
     experiments would.  Cluster points (``replicas > 1`` or autoscaling)
     run through :func:`~repro.analysis.harness.run_cluster` and return
     the fleet-level summary.  ``observer`` (see :func:`run_traced`)
-    attaches passive observability; it never changes the report.
+    attaches passive observability; ``invariants`` (an
+    :class:`~repro.check.invariants.InvariantChecker`, see
+    ``--check-invariants``) attaches the runtime sanitizer.  Neither
+    ever changes the report.
     """
     setup = build_setup(
         config.system.model,
@@ -113,6 +118,7 @@ def run_spec(config: ExperimentSpec, observer=None) -> SimulationReport:
             faults=config.chaos.faults if config.chaos.enabled else None,
             max_sim_time_s=config.system.max_sim_time_s,
             observer=observer,
+            invariants=invariants,
         ).summary
     return run_once(
         setup,
@@ -120,10 +126,11 @@ def run_spec(config: ExperimentSpec, observer=None) -> SimulationReport:
         requests,
         max_sim_time_s=config.system.max_sim_time_s,
         observer=observer,
+        invariants=invariants,
     )
 
 
-def run_traced(config: ExperimentSpec):
+def run_traced(config: ExperimentSpec, invariants=None):
     """Execute one spec fresh with its ``obs`` section attached.
 
     Returns ``(report, observer)`` where ``observer`` is the
@@ -133,12 +140,13 @@ def run_traced(config: ExperimentSpec):
     a by-product of execution, so a cache hit would have nothing to
     return — and because the ``obs`` section is excluded from the cache
     key, traced runs still *validate* against cached results via their
-    byte-identical reports.
+    byte-identical reports.  ``invariants`` attaches the runtime
+    sanitizer exactly as in :func:`run_spec`.
     """
     from repro.obs import RunObserver
 
     observer = RunObserver.from_spec(config.obs)
-    report = run_spec(config, observer=observer)
+    report = run_spec(config, observer=observer, invariants=invariants)
     return report, observer
 
 

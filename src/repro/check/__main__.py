@@ -1,0 +1,10 @@
+"""``python -m repro.check`` — standalone determinism lint gate."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.check.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

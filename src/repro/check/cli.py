@@ -1,0 +1,53 @@
+"""Entry points for the determinism linter.
+
+Shared by ``repro check lint`` (subcommand of the main CLI) and
+``python -m repro.check`` (standalone, e.g. as a pre-commit hook).
+Exit status is the gate: 0 when clean, 1 when findings survive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.check.linter import lint_paths
+from repro.check.report import format_result, result_to_json
+
+#: Default lint target: the installed package source.
+_PACKAGE_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_lint(paths: list[str], json_out: bool = False, out=None) -> int:
+    """Lint ``paths`` (default: the repro package); returns exit status."""
+    out = sys.stdout if out is None else out
+    targets = [Path(p) for p in paths] if paths else [_PACKAGE_ROOT]
+    result = lint_paths(targets)
+    if json_out:
+        out.write(result_to_json(result) + "\n")
+    else:
+        out.write(format_result(result) + "\n")
+    return 0 if result.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Determinism lint over repro source (see `repro list checks`).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the strict-JSON report instead of text",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run_lint(args.paths, json_out=args.json)

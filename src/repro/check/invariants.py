@@ -1,0 +1,269 @@
+"""Runtime invariant sanitizer (``--check-invariants``).
+
+Deep structural checks the simulator cannot afford on every run: KV and
+prefix-block refcount conservation after every admit/finish/preempt/
+crash, per-replica and global event-time monotonicity, gauge-sampler
+catch-up bounds, and request conservation at merge points.  Violations
+raise :class:`InvariantViolation` immediately, carrying structured
+context (invariant name, replica, request, block, sim time) so a report
+names exactly what broke and where.
+
+Gating follows the observability pattern (``engine.obs``): engines and
+schedulers carry an ``inv`` attribute that is ``None`` by default, and
+every hook site is ``inv = self.inv; if inv is not None: ...`` — the
+sanitizer-off hot path pays one attribute load per lifecycle event and
+nothing else.  The checks themselves are read-only over simulator state,
+so a checked run's report is byte-identical to an unchecked one's.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+#: Time-comparison slack, matching SimClock.advance_to and
+#: GaugeSampler.catch_up (floating-point event times).
+_EPS = 1e-12
+
+
+class InvariantViolation(AssertionError):
+    """A runtime invariant failed; carries structured context.
+
+    Subclasses ``AssertionError`` because these are assertions — a
+    violation is a simulator bug (or deliberately corrupted state in a
+    test), never a user-input error.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        replica: int | None = None,
+        rid: int | None = None,
+        block: int | None = None,
+        time: float | None = None,
+    ) -> None:
+        self.invariant = invariant
+        self.message = message
+        self.replica = replica
+        self.rid = rid
+        self.block = block
+        self.time = time
+        super().__init__(self.format())
+
+    def to_dict(self) -> dict:
+        """Structured violation report (stable key set)."""
+        return {
+            "invariant": self.invariant,
+            "message": self.message,
+            "replica": self.replica,
+            "rid": self.rid,
+            "block": self.block,
+            "time": self.time,
+        }
+
+    def format(self) -> str:
+        where = [
+            f"{name}={value}"
+            for name, value in (
+                ("replica", self.replica),
+                ("rid", self.rid),
+                ("block", self.block),
+                ("t", self.time),
+            )
+            if value is not None
+        ]
+        suffix = f" [{' '.join(where)}]" if where else ""
+        return f"invariant {self.invariant} violated: {self.message}{suffix}"
+
+
+class _BoundInvariants:
+    """Per-replica facade installed as ``engine.inv`` / ``scheduler.inv``.
+
+    Binds the replica index once at attach time so lifecycle hooks do not
+    thread it through every call.
+    """
+
+    __slots__ = ("checker", "replica")
+
+    def __init__(self, checker: "InvariantChecker", replica: int) -> None:
+        self.checker = checker
+        self.replica = replica
+
+    def kv(self, kv, event: str, rid: int | None = None) -> None:
+        self.checker.check_kv(kv, event, replica=self.replica, rid=rid)
+
+
+class InvariantChecker:
+    """One sanitizer instance per run; shared across a fleet's replicas."""
+
+    def __init__(self) -> None:
+        #: Individual invariant evaluations performed (reported by the CLI).
+        self.checks = 0
+        self._replica_clock: dict[int, float] = {}
+        self._event_clock = -math.inf
+
+    # ------------------------------------------------------------------
+    def attach(self, engine, scheduler, replica: int = 0) -> None:
+        """Install lifecycle hooks on an engine + scheduler pair."""
+        bound = _BoundInvariants(self, replica)
+        engine.inv = bound
+        scheduler.inv = bound
+
+    # ------------------------------------------------------------------
+    # KV / prefix-block conservation
+    # ------------------------------------------------------------------
+    def check_kv(
+        self, kv, event: str, replica: int | None = None, rid: int | None = None
+    ) -> None:
+        """Full accounting audit of a KV manager after a lifecycle event."""
+        self.checks += 1
+
+        def fail(invariant: str, message: str, block: int | None = None) -> None:
+            raise InvariantViolation(
+                invariant,
+                f"after {event}: {message}",
+                replica=replica,
+                rid=rid,
+                block=block,
+            )
+
+        for owner, blocks in kv._allocated.items():
+            if blocks < 0:
+                fail("kv-allocation", f"request {owner} holds {blocks} blocks")
+        total_private = sum(kv._allocated.values())
+        if kv._used != total_private:
+            fail(
+                "kv-conservation",
+                f"_used={kv._used} but allocations sum to {total_private}",
+            )
+        if kv.used_blocks > kv.total_blocks:
+            fail(
+                "kv-capacity",
+                f"used_blocks={kv.used_blocks} exceeds total_blocks={kv.total_blocks}",
+            )
+
+        shared = getattr(kv, "_shared", None)
+        if shared is None:
+            return
+
+        # Refcounts must equal the number of live chains referencing each
+        # shared block — recomputed from scratch, not trusted.
+        expected = Counter(key for chain in kv._refs.values() for key in chain)
+        for key, block in shared.items():
+            if block.refcount != expected[key]:
+                fail(
+                    "prefix-refcount",
+                    f"block refcount={block.refcount} but "
+                    f"{expected[key]} live chain(s) reference it",
+                    block=key,
+                )
+        for key in expected:
+            if key not in shared:
+                fail(
+                    "prefix-refcount",
+                    "a live chain references a block missing from the shared table",
+                    block=key,
+                )
+        unreferenced = sum(1 for block in shared.values() if block.refcount == 0)
+        if kv._unreferenced != unreferenced:
+            fail(
+                "prefix-unreferenced",
+                f"_unreferenced={kv._unreferenced} but {unreferenced} shared "
+                "block(s) have refcount 0",
+            )
+        children = Counter(
+            block.parent for block in shared.values() if block.parent is not None
+        )
+        for key, block in shared.items():
+            if block.children != children[key]:
+                fail(
+                    "prefix-children",
+                    f"block children={block.children} but {children[key]} "
+                    "resident block(s) name it as parent",
+                    block=key,
+                )
+        for owner, chain in kv._refs.items():
+            for i, key in enumerate(chain):
+                parent = shared[key].parent
+                want = chain[i - 1] if i > 0 else None
+                if parent != want:
+                    fail(
+                        "prefix-chain",
+                        f"request {owner}'s chain breaks at position {i}: "
+                        f"block parent={parent}, chain predecessor={want}",
+                        block=key,
+                    )
+
+    # ------------------------------------------------------------------
+    # Event-time monotonicity
+    # ------------------------------------------------------------------
+    def check_event_time(self, t: float) -> None:
+        """Global event order: processed event times never decrease."""
+        self.checks += 1
+        if t < self._event_clock - _EPS:
+            raise InvariantViolation(
+                "event-monotonicity",
+                f"event at t={t} processed after t={self._event_clock}",
+                time=t,
+            )
+        self._event_clock = max(self._event_clock, t)
+
+    def check_replica_step(self, replica: int, local_now: float) -> None:
+        """Per-replica iteration boundaries never move backwards."""
+        self.checks += 1
+        last = self._replica_clock.get(replica, -math.inf)
+        if local_now < last - _EPS:
+            raise InvariantViolation(
+                "replica-monotonicity",
+                f"iteration boundary moved backwards: {last} -> {local_now}",
+                replica=replica,
+                time=local_now,
+            )
+        self._replica_clock[replica] = max(last, local_now)
+
+    def check_sampler(self, sampler, t: float) -> None:
+        """Gauge catch-up never samples beyond the driving event time."""
+        self.checks += 1
+        if sampler.samples and sampler.samples[-1].t > t + _EPS:
+            raise InvariantViolation(
+                "sampler-bound",
+                f"gauge sample at t={sampler.samples[-1].t} exceeds "
+                f"event time t={t}",
+                time=t,
+            )
+
+    # ------------------------------------------------------------------
+    # Request conservation at merge points
+    # ------------------------------------------------------------------
+    def check_conservation(
+        self, generated, reported, where: str, replica: int | None = None
+    ) -> None:
+        """Every generated request is accounted for exactly once.
+
+        ``generated = finished + lost + in-flight + evacuated`` collapses
+        to: the merged report holds each generated rid exactly once (the
+        simulator never drops work — evacuations re-route, crashes
+        re-queue) and invents none.
+        """
+        self.checks += 1
+        want = Counter(req.rid for req in generated)
+        got = Counter(req.rid for req in reported)
+        if want == got:
+            return
+        missing = sorted((want - got).elements())
+        extra = sorted((got - want).elements())
+        parts = []
+        if missing:
+            parts.append(f"missing rids {missing[:10]}")
+        if extra:
+            parts.append(f"duplicated/unknown rids {extra[:10]}")
+        first = (missing or extra or [None])[0]
+        raise InvariantViolation(
+            "request-conservation",
+            f"at {where}: generated {sum(want.values())} request(s), "
+            f"report accounts for {sum(got.values())} ({'; '.join(parts)})",
+            replica=replica,
+            rid=first,
+        )

@@ -1,0 +1,76 @@
+"""Lint-report formatting: terminal text and the strict-JSON artifact.
+
+The JSON payload follows the repo's export conventions
+(:mod:`repro.analysis.export`): a self-describing envelope with
+``schema_version`` + ``repro_version``, ``sort_keys=True``,
+``allow_nan=False``, so the CI gate's artifact diffs cleanly and can be
+consumed by the same tooling as result/trace exports.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import __version__
+from repro.check.linter import LintResult
+from repro.check.rules import RULES
+
+#: Layout version of the ``repro check lint --json`` payload.
+CHECK_SCHEMA_VERSION = 1
+
+
+def result_to_dict(result: LintResult) -> dict:
+    """Envelope dict for one lint run (findings + suppression inventory)."""
+    return {
+        "schema_version": CHECK_SCHEMA_VERSION,
+        "repro_version": __version__,
+        "files_checked": result.files_checked,
+        "ok": result.ok,
+        "findings": [
+            {
+                "rule": f.rule,
+                "title": RULES[f.rule].title if f.rule in RULES else "",
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in result.findings
+        ],
+        "suppressions": [
+            {
+                "rule": s.rule,
+                "path": s.path,
+                "line": s.line,
+                "reason": s.reason,
+                "used": s.used,
+            }
+            for s in result.suppressions
+        ],
+    }
+
+
+def result_to_json(result: LintResult) -> str:
+    """Strict-JSON lint report (stable key order, no NaN/Infinity)."""
+    return json.dumps(
+        result_to_dict(result), indent=2, sort_keys=True, allow_nan=False
+    )
+
+
+def format_result(result: LintResult) -> str:
+    """Human-readable lint report for terminals and CI logs."""
+    lines = [f.format() for f in result.findings]
+    used = [s for s in result.suppressions if s.used]
+    if used:
+        lines.append("")
+        lines.append(f"honored suppressions ({len(used)}):")
+        for s in used:
+            reason = f" reason: {s.reason}" if s.reason else ""
+            lines.append(f"  {s.path}:{s.line}: allow[{s.rule}]{reason}")
+    lines.append("")
+    verdict = "ok" if result.ok else f"{len(result.findings)} finding(s)"
+    lines.append(
+        f"checked {result.files_checked} file(s): {verdict}"
+        f" ({len(used)} suppression(s) honored)"
+    )
+    return "\n".join(lines)

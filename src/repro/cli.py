@@ -11,7 +11,7 @@ The subcommands mirror how the repository is used:
 - ``list``: introspect the component registries (systems, routers,
   traces, models) with their parameter schemas;
 - ``bench``: measure the *simulator's* own throughput (iterations per
-  wall-second) over the standard perf suite and write ``BENCH_PR7.json``
+  wall-second) over the standard perf suite and write ``BENCH_PR8.json``
   (see :mod:`repro.perfbench`); ``--baseline`` (defaulting to the newest
   committed ``BENCH_PR*.json``) warns on perf regressions and **fails**
   on fixed-seed digest divergence;
@@ -66,6 +66,7 @@ from repro.analysis.harness import build_setup
 from repro.analysis.report import format_table, point_from_metrics, series_table
 from repro.analysis.runner import ExperimentConfig, SweepRunner
 from repro.analysis.spec import SYSTEM_FIELD_AXES, apply_axis, parse_grid_axis
+from repro.check.rules import CHECKS
 from repro.obs import ObsSpec
 from repro.hardware.profiler import HardwareProfiler
 from repro.perfbench.suite import DEFAULT_OUT as _DEFAULT_BENCH_OUT
@@ -79,6 +80,7 @@ _REGISTRIES = {
     "traces": TRACES,
     "models": MODELS,
     "faults": FAULTS,
+    "checks": CHECKS,
 }
 
 
@@ -189,6 +191,31 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_check_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--check-invariants",
+        action="store_true",
+        help="validate runtime invariants (KV/prefix refcount conservation, "
+        "event-time monotonicity, request conservation) during the run; "
+        "always simulates fresh, bypassing the result cache — the report "
+        "stays byte-identical (see `repro list checks`)",
+    )
+
+
+def _maybe_invariants(args):
+    """An :class:`InvariantChecker` when ``--check-invariants`` was given."""
+    if not getattr(args, "check_invariants", False):
+        return None
+    from repro.check import InvariantChecker
+
+    return InvariantChecker()
+
+
+def _note_invariants(inv) -> None:
+    if inv is not None:
+        print(f"invariants: ok ({inv.checks} check(s) passed)", file=sys.stderr)
+
+
 def _resolve_cache(cache_dir: str | None) -> ResultCache:
     return ResultCache(cache_dir) if cache_dir else ResultCache()
 
@@ -237,18 +264,23 @@ def _obs_spec(args) -> ObsSpec:
 
 
 def _run_point(args, config: ExperimentConfig):
-    """One point through the result cache — or fresh when tracing is on.
+    """One point through the result cache — or fresh when tracing or
+    invariant checking is on.
 
     Returns ``(report, stats_line)``.  Traced runs always simulate (a
     cache hit would have no trace to return) and write the Perfetto
-    export as a side effect; the report itself is byte-identical either
-    way because observation is strictly passive.
+    export as a side effect; ``--check-invariants`` runs always simulate
+    (cached records were never checked).  The report itself is
+    byte-identical either way because observation and invariant checks
+    are strictly passive.
     """
+    invariants = _maybe_invariants(args)
     if config.obs.enabled:
         from repro.analysis.runner import run_traced
         from repro.obs import perfetto_json
 
-        report, observer = run_traced(config)
+        report, observer = run_traced(config, invariants=invariants)
+        _note_invariants(invariants)
         _write_out(
             args.trace_out,
             perfetto_json(observer.collector, observer.sampler, chaos=report.chaos),
@@ -258,6 +290,15 @@ def _run_point(args, config: ExperimentConfig):
             file=sys.stderr,
         )
         return report, "cache: bypassed (--trace-out always simulates); simulations executed: 1"
+    if invariants is not None:
+        from repro.analysis.runner import run_spec
+
+        report = run_spec(config, invariants=invariants)
+        _note_invariants(invariants)
+        return report, (
+            "cache: bypassed (--check-invariants always simulates); "
+            "simulations executed: 1"
+        )
     runner = SweepRunner(cache=_make_cache(args), jobs=1)
     return runner.run([config])[0].report, runner.stats_line()
 
@@ -617,7 +658,9 @@ def _cmd_trace(args) -> int:
         args, args.system, args.rps,
         replicas=args.replicas, router=args.router, obs=obs,
     )
-    report, observer = run_traced(config)
+    invariants = _maybe_invariants(args)
+    report, observer = run_traced(config, invariants=invariants)
+    _note_invariants(invariants)
     _write_out(
         args.out,
         perfetto_json(observer.collector, observer.sampler, chaos=report.chaos),
@@ -637,6 +680,18 @@ def _cmd_trace(args) -> int:
         _write_out(args.series_out, series_to_json(observer))
     print(format_slowest_table(report.requests, n=args.top, markdown=args.markdown))
     return 0
+
+
+def _cmd_check(args) -> int:
+    """Run the determinism linter (see :mod:`repro.check`).
+
+    ``repro check lint`` is the CI gate form of ``python -m repro.check``:
+    exit 0 when the tree is clean (suppressions inventoried), 1 when
+    findings survive.  ``--json`` emits the strict-JSON report.
+    """
+    from repro.check.cli import run_lint
+
+    return run_lint(args.paths, json_out=args.json)
 
 
 def _cmd_profile(args) -> int:
@@ -673,6 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--max-sim-time", type=_positive_float, default=1800.0)
     p_run.add_argument("--out", default=None, help="write the report as strict JSON")
     _add_obs_args(p_run)
+    _add_check_args(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="RPS sweep over systems")
@@ -750,6 +806,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--max-sim-time", type=_positive_float, default=1800.0)
     p_cluster.add_argument("--out", default=None, help="write the report as strict JSON")
     _add_obs_args(p_cluster)
+    _add_check_args(p_cluster)
     p_cluster.set_defaults(func=_cmd_cluster)
 
     p_list = sub.add_parser(
@@ -831,6 +888,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(stdout carries only the table, e.g. for $GITHUB_STEP_SUMMARY)",
     )
     _add_obs_args(p_chaos)
+    _add_check_args(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos_report)
 
     p_trace = sub.add_parser(
@@ -889,7 +947,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the slowest-requests table as GitHub markdown "
         "(stdout carries only the table, e.g. for $GITHUB_STEP_SUMMARY)",
     )
+    _add_check_args(p_trace)
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_check = sub.add_parser(
+        "check",
+        help="static determinism lint over the source tree (CI gate)",
+    )
+    p_check.add_argument(
+        "action",
+        choices=["lint"],
+        help="what to check (lint: run the RPD determinism rules; "
+        "see `repro list checks`)",
+    )
+    p_check.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    p_check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the strict-JSON findings report instead of text",
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     p_prof = sub.add_parser("profile", help="hardware profiling for a deployment")
     p_prof.add_argument("--model", type=_model_spec, default="llama70b")
@@ -900,8 +981,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.check import InvariantViolation
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except InvariantViolation as exc:
+        # Structured violation report: one line per context field, so CI
+        # logs name the invariant, replica, request, and block directly.
+        print(f"error: {exc.format()}", file=sys.stderr)
+        for key, value in exc.to_dict().items():
+            if value is not None:
+                print(f"  {key}: {value}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -103,6 +103,12 @@ class FleetSimulator:
         lifecycle tracing, fleet-event markers, and periodic gauge
         sampling.  Observation is passive — an observed run's report is
         byte-identical to an unobserved one's.
+    invariants:
+        Optional :class:`~repro.check.invariants.InvariantChecker`
+        (``--check-invariants``); validates heap-event monotonicity,
+        per-replica iteration-boundary monotonicity, sampler bounds,
+        and request conservation at the fleet merge.  Checks are
+        read-only, so a checked run's report is byte-identical too.
     """
 
     def __init__(
@@ -116,6 +122,7 @@ class FleetSimulator:
         max_sim_time_s: float = 7200.0,
         max_iterations: int = 2_000_000,
         observer=None,
+        invariants=None,
     ) -> None:
         if num_replicas < 1:
             raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
@@ -126,6 +133,7 @@ class FleetSimulator:
         # the collector; gauge ticks fire lazily from the event loop.
         self._obs = observer.collector if observer is not None else None
         self._sampler = observer.sampler if observer is not None else None
+        self._inv = invariants
         self.autoscaler = (
             Autoscaler(autoscaler_config) if autoscaler_config is not None else None
         )
@@ -437,6 +445,10 @@ class FleetSimulator:
         # no heap entries of its own, so the loop's event order, drain
         # condition, and autoscale cadence are untouched.
         sampler = self._sampler
+        inv = self._inv
+        # Conservation is checked against what was actually routed: a
+        # horizon abort legitimately leaves unreleased arrivals behind.
+        admitted = [] if inv is not None else None
 
         while True:
             # Drop stale replica entries (replica stepped, drained, or
@@ -497,6 +509,10 @@ class FleetSimulator:
                 clock.advance_to(event_time)
                 if sampler is not None:
                     sampler.catch_up(event_time)
+                if inv is not None:
+                    inv.check_event_time(event_time)
+                    if sampler is not None:
+                        inv.check_sampler(sampler, event_time)
                 self._apply_fault(self._chaos_events[fault_index], clock.now)
             elif step_candidate is not None and (
                 next_arrival is None or step_candidate.local_now < next_arrival
@@ -505,7 +521,15 @@ class FleetSimulator:
                 clock.advance_to(step_candidate.local_now)
                 if sampler is not None:
                     sampler.catch_up(step_candidate.local_now)
+                if inv is not None:
+                    inv.check_event_time(step_candidate.local_now)
+                    if sampler is not None:
+                        inv.check_sampler(sampler, step_candidate.local_now)
                 step_candidate.step()
+                if inv is not None:
+                    inv.check_replica_step(
+                        step_candidate.index, step_candidate.local_now
+                    )
                 iterations += 1
                 if iterations > self.max_iterations:
                     raise RuntimeError(
@@ -519,12 +543,18 @@ class FleetSimulator:
                 clock.advance_to(next_arrival)
                 if sampler is not None:
                     sampler.catch_up(clock.now)
+                if inv is not None:
+                    inv.check_event_time(clock.now)
+                    if sampler is not None:
+                        inv.check_sampler(sampler, clock.now)
                 for req in arrivals.release_until(clock.now):
                     target = self.router.route(req, self._routable(clock.now))
                     was_busy = target.has_work()
                     target.admit(req, clock.now)
                     if not was_busy and not target.failed:
                         heapq.heappush(heap, (target.local_now, 1, target.index))
+                    if admitted is not None:
+                        admitted.append(req)
 
             self._autoscale(clock.now)
             self._retire_drained()
@@ -549,6 +579,10 @@ class FleetSimulator:
             (req for rep in replica_reports for req in rep.requests),
             key=lambda r: r.rid,
         )
+        if inv is not None:
+            if sampler is not None:
+                inv.check_sampler(sampler, sim_time_s)
+            inv.check_conservation(admitted, all_requests, "fleet merge")
         chaos = (
             build_chaos_report(self._chaos_log, all_requests, sim_time_s)
             if self._chaos_log is not None

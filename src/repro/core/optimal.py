@@ -19,7 +19,7 @@ every path, so the best unselected node is always on the frontier.
 
 Used by tests (optimality vs. brute force, INVALID ⇒ infeasible) and by
 the decoupling ablation, which compares Algorithm 1's draft-step count
-(B − n sequential decodes) against the speculate-then-select pipeline.
+(B - n sequential decodes) against the speculate-then-select pipeline.
 """
 
 from __future__ import annotations

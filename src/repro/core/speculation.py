@@ -205,5 +205,5 @@ def speculate_batch(
     if depth == 0 or n == 0:
         step_tokens: tuple[int, ...] = ()
     else:
-        step_tokens = (n,) + tuple(n * width for _ in range(depth - 1))
+        step_tokens = (n, *(n * width for _ in range(depth - 1)))
     return SpeculationResult(trees=trees, depth=depth, width=width, step_tokens=step_tokens)

@@ -115,7 +115,7 @@ def optimal_static_topology(
             val = rank_probs[rank] * (1.0 + sub_val) + rest_val
             if val > best_val:
                 best_val = val
-                best_shape = ((m - 1, sub_shape),) + rest_shape
+                best_shape = ((m - 1, sub_shape), *rest_shape)
         return best_val, best_shape
 
     def build(shape: tuple) -> tuple[Topology, ...]:

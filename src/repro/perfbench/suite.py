@@ -60,7 +60,7 @@ from repro.analysis.spec import ExperimentSpec
 BENCH_SCHEMA_VERSION = 1
 
 #: Default output path for the committed perf trajectory.
-DEFAULT_OUT = "BENCH_PR7.json"
+DEFAULT_OUT = "BENCH_PR8.json"
 
 #: Iterations/s regression (fractional drop vs baseline) that triggers a
 #: warning in :func:`compare_to_baseline`.

@@ -132,6 +132,12 @@ class SimulatedEngine:
         #: each use so the healthy value of 1.0 performs zero extra
         #: float operations and stays bit-identical to pre-chaos runs.
         self.slow_factor = 1.0
+        #: Optional runtime invariant sanitizer (a repro.check bound
+        #: checker; see ``--check-invariants``).  Same gating contract
+        #: as ``obs``: None by default, every hook guarded, checks are
+        #: read-only — a checked run is byte-identical to an unchecked
+        #: one.
+        self.inv = None
 
     # ------------------------------------------------------------------
     # Context synthesis
@@ -367,6 +373,9 @@ class SimulatedEngine:
             self.obs.finish(req)
         self._commit_prefix(req, req.prompt_len + req.n_generated)
         self.kv.free(req.rid)
+        inv = self.inv
+        if inv is not None:
+            inv.kv(self.kv, "finish", req.rid)
 
     def preempt(self, req: Request, drop_kv: bool) -> None:
         """Preempt a request, optionally evicting its KV."""
@@ -375,3 +384,6 @@ class SimulatedEngine:
         req.preempt(drop_kv)
         if drop_kv:
             self.kv.free(req.rid)
+        inv = self.inv
+        if inv is not None:
+            inv.kv(self.kv, "preempt", req.rid)

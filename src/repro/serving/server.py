@@ -68,6 +68,11 @@ class ServingSimulator:
         lifecycle tracing + periodic gauge sampling.  Observation is
         passive — an observed run's report is byte-identical to an
         unobserved one's.
+    invariants:
+        Optional :class:`~repro.check.invariants.InvariantChecker`
+        (``--check-invariants``); validates event-time monotonicity,
+        sampler bounds, and request conservation during the run.  Checks
+        are read-only: a checked run's report is byte-identical too.
     """
 
     def __init__(
@@ -78,6 +83,7 @@ class ServingSimulator:
         max_sim_time_s: float = 7200.0,
         max_iterations: int = 2_000_000,
         observer=None,
+        invariants=None,
     ) -> None:
         if scheduler.engine is not engine:
             raise ValueError("scheduler must wrap the provided engine")
@@ -87,6 +93,7 @@ class ServingSimulator:
         self.max_sim_time_s = max_sim_time_s
         self.max_iterations = max_iterations
         self.observer = observer
+        self.invariants = invariants
 
     def run(self) -> SimulationReport:
         """Execute the simulation to completion (or safety cutoff)."""
@@ -100,17 +107,27 @@ class ServingSimulator:
         # The tracer (if any) was installed as ``engine.obs`` by the
         # harness; a solo run never swaps engines, so bind it once.
         tracer = self.engine.obs
+        inv = self.invariants
+        # Conservation is checked against what was actually admitted: a
+        # horizon abort legitimately leaves unreleased arrivals behind.
+        admitted = [] if inv is not None else None
 
         while True:
             # Gauge ticks <= now fire before this boundary's admissions,
             # capturing the state held since the previous event.
             if sampler is not None:
                 sampler.catch_up(clock.now)
+            if inv is not None:
+                inv.check_event_time(clock.now)
+                if sampler is not None:
+                    inv.check_sampler(sampler, clock.now)
 
             for req in arrivals.release_until(clock.now):
                 self.scheduler.admit(req)
                 if tracer is not None:
                     tracer.enqueue(clock.now, req)
+                if admitted is not None:
+                    admitted.append(req)
 
             if not self.scheduler.has_work():
                 nxt = arrivals.next_arrival
@@ -140,6 +157,10 @@ class ServingSimulator:
             sampler.catch_up(clock.now)
         self.scheduler.finalize()
         all_requests = self.scheduler.all_requests()
+        if inv is not None:
+            if sampler is not None:
+                inv.check_sampler(sampler, clock.now)
+            inv.check_conservation(admitted, all_requests, "solo drain")
         return SimulationReport(
             scheduler_name=self.scheduler.name,
             metrics=compute_metrics(all_requests),

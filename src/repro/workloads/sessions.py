@@ -124,7 +124,7 @@ class SessionGenerator:
                 )
                 segments = ((sess_namespace, history + user_tokens),)
                 if self.system_prompt > 0:
-                    segments = ((sys_namespace, self.system_prompt),) + segments
+                    segments = ((sys_namespace, self.system_prompt), *segments)
                 req = Request(
                     rid=0,  # assigned after the global arrival sort
                     category=category.name,

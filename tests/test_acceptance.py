@@ -118,7 +118,7 @@ class TestVerifyTree:
         c = ctx
         tree = TokenTree(0, ctx)
         node = tree.root
-        for i in range(3):
+        for _ in range(3):
             tok, p = pair.draft_children(c, 1)[0]
             tokens.append(tok)
             c = pair.extend(c, tok)

@@ -22,7 +22,7 @@ from repro.chaos.report import format_incident_table
 from repro.cluster.fleet import FleetSimulator
 from repro.cluster.replica import Replica
 from repro.cluster.router import PrefixAffinityRouter, RoundRobinRouter
-from repro.registry import FAULTS
+from repro.registry import FAULTS, SpecError
 from repro.serving.request import RequestState
 from tests.conftest import make_request
 from tests.test_cluster import fleet_workload, small_engine, vllm_factory
@@ -84,9 +84,9 @@ class TestFaultSchedule:
         assert FAULTS.canonical("crash:at=120,replica=1") == "crash:at=120.0,replica=1"
 
     def test_invalid_spec_rejected(self):
-        with pytest.raises(Exception):
+        with pytest.raises(SpecError):
             spec_events(["crash:restart=-1"])
-        with pytest.raises(Exception):
+        with pytest.raises(SpecError):
             spec_events(["straggler:slow=0.5"])
         with pytest.raises(KeyError):
             spec_events(["meteor-strike"])

@@ -1,0 +1,292 @@
+"""Runtime invariant sanitizer: failure paths and byte-transparency.
+
+Two obligations, tested separately:
+
+- **It catches corruption.**  Each invariant family gets a test that
+  deliberately breaks simulator state (a skewed refcount, a backwards
+  event, a dropped request) and asserts the violation report names the
+  right invariant, replica, request, and block.
+- **It changes nothing.**  Golden scenarios (the committed digests of
+  :mod:`tests.test_golden_equivalence`) must reproduce byte-for-byte
+  with the sanitizer attached — thousands of checks, zero drift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis.export import report_to_json
+from repro.analysis.runner import run_spec
+from repro.analysis.spec import ExperimentSpec
+from repro.check import InvariantChecker, InvariantViolation
+from repro.prefixcache import PrefixCacheManager
+from repro.serving.kv_cache import KVCacheManager
+from tests.conftest import make_request
+from tests.test_golden_equivalence import GOLDEN
+
+
+def violation(call, *args, **kwargs) -> InvariantViolation:
+    with pytest.raises(InvariantViolation) as exc_info:
+        call(*args, **kwargs)
+    return exc_info.value
+
+
+# ----------------------------------------------------------------------
+# KV accounting
+# ----------------------------------------------------------------------
+class TestKVInvariants:
+    def test_clean_kv_passes(self):
+        kv = KVCacheManager(capacity_tokens=1024)
+        kv.ensure(rid=1, tokens=100)
+        checker = InvariantChecker()
+        checker.check_kv(kv, "admit", replica=0, rid=1)
+        assert checker.checks == 1
+
+    def test_used_counter_skew_detected(self):
+        kv = KVCacheManager(capacity_tokens=1024)
+        kv.ensure(rid=1, tokens=100)
+        kv._used += 1  # corrupt: counter no longer matches allocations
+        v = violation(InvariantChecker().check_kv, kv, "finish", replica=3, rid=1)
+        assert v.invariant == "kv-conservation"
+        assert v.replica == 3 and v.rid == 1
+        assert "after finish" in v.message
+
+    def test_negative_allocation_detected(self):
+        kv = KVCacheManager(capacity_tokens=1024)
+        kv.ensure(rid=7, tokens=64)
+        kv._allocated[7] = -1
+        kv._used = -1
+        v = violation(InvariantChecker().check_kv, kv, "preempt", rid=7)
+        assert v.invariant == "kv-allocation"
+        assert "request 7" in v.message
+
+
+class TestPrefixInvariants:
+    def _shared_kv(self) -> PrefixCacheManager:
+        kv = PrefixCacheManager(capacity_tokens=1024)
+        kv.ensure(rid=1, tokens=64)  # 4 blocks private
+        kv.commit_keys(1, [101, 102])  # two of them published as shared
+        kv.lock_keys(2, [101, 102])  # a second request references the chain
+        return kv
+
+    def test_clean_prefix_state_passes(self):
+        checker = InvariantChecker()
+        checker.check_kv(self._shared_kv(), "admit", rid=2)
+
+    def test_refcount_skew_names_block(self):
+        kv = self._shared_kv()
+        kv._shared[102].refcount += 1  # corrupt one block's refcount
+        v = violation(InvariantChecker().check_kv, kv, "admit", replica=1, rid=2)
+        assert v.invariant == "prefix-refcount"
+        assert v.block == 102
+        assert v.replica == 1 and v.rid == 2
+        assert "2 live chain(s)" in v.message
+
+    def test_dangling_chain_reference_detected(self):
+        kv = self._shared_kv()
+        del kv._shared[102]  # chain still names the evicted block
+        v = violation(InvariantChecker().check_kv, kv, "evacuate")
+        assert v.invariant == "prefix-refcount"
+        assert v.block == 102
+
+    def test_unreferenced_count_skew_detected(self):
+        kv = self._shared_kv()
+        kv._unreferenced += 1
+        v = violation(InvariantChecker().check_kv, kv, "retire")
+        assert v.invariant == "prefix-unreferenced"
+
+    def test_children_count_skew_detected(self):
+        kv = self._shared_kv()
+        kv._shared[101].children = 5
+        v = violation(InvariantChecker().check_kv, kv, "admit")
+        assert v.invariant == "prefix-children"
+        assert v.block == 101
+
+    def test_broken_chain_linkage_detected(self):
+        kv = self._shared_kv()
+        # Repoint the child's parent (keeping the children tallies
+        # consistent, so only the chain-linkage audit can catch it).
+        kv._shared[102].parent = 999
+        kv._shared[101].children = 0
+        v = violation(InvariantChecker().check_kv, kv, "admit")
+        assert v.invariant == "prefix-chain"
+        assert v.block == 102
+        assert "breaks at position 1" in v.message
+
+
+# ----------------------------------------------------------------------
+# Event-time monotonicity + sampler bounds
+# ----------------------------------------------------------------------
+class TestTimeInvariants:
+    def test_event_time_must_not_regress(self):
+        checker = InvariantChecker()
+        checker.check_event_time(5.0)
+        checker.check_event_time(5.0)  # equal is fine
+        v = violation(checker.check_event_time, 4.0)
+        assert v.invariant == "event-monotonicity"
+        assert v.time == 4.0
+        assert "after t=5.0" in v.message
+
+    def test_float_slack_tolerated(self):
+        checker = InvariantChecker()
+        checker.check_event_time(5.0)
+        checker.check_event_time(5.0 - 1e-13)  # within _EPS
+
+    def test_replica_step_names_replica(self):
+        checker = InvariantChecker()
+        checker.check_replica_step(1, 3.0)
+        checker.check_replica_step(2, 1.0)  # other replicas are independent
+        v = violation(checker.check_replica_step, 1, 2.0)
+        assert v.invariant == "replica-monotonicity"
+        assert v.replica == 1
+        assert "3.0 -> 2.0" in v.message
+
+    def test_sampler_beyond_event_time_detected(self):
+        sampler = SimpleNamespace(samples=[SimpleNamespace(t=10.0)])
+        v = violation(InvariantChecker().check_sampler, sampler, 5.0)
+        assert v.invariant == "sampler-bound"
+        assert "t=10.0" in v.message
+
+    def test_sampler_at_event_time_passes(self):
+        sampler = SimpleNamespace(samples=[SimpleNamespace(t=5.0)])
+        InvariantChecker().check_sampler(sampler, 5.0)
+
+
+# ----------------------------------------------------------------------
+# Request conservation
+# ----------------------------------------------------------------------
+class TestConservation:
+    def test_exact_accounting_passes(self):
+        reqs = [make_request(rid=i) for i in range(3)]
+        InvariantChecker().check_conservation(reqs, list(reversed(reqs)), "merge")
+
+    def test_dropped_request_named(self):
+        reqs = [make_request(rid=i) for i in range(3)]
+        v = violation(
+            InvariantChecker().check_conservation, reqs, reqs[:2], "fleet merge"
+        )
+        assert v.invariant == "request-conservation"
+        assert v.rid == 2
+        assert "at fleet merge" in v.message
+        assert "missing rids [2]" in v.message
+
+    def test_duplicated_request_named(self):
+        reqs = [make_request(rid=i) for i in range(2)]
+        v = violation(
+            InvariantChecker().check_conservation,
+            reqs,
+            [*reqs, reqs[0]],
+            "solo drain",
+        )
+        assert "duplicated/unknown rids [0]" in v.message
+
+    def test_violation_report_is_structured(self):
+        v = InvariantViolation(
+            "request-conservation", "boom", replica=2, rid=7, block=3, time=1.5
+        )
+        assert v.to_dict() == {
+            "invariant": "request-conservation",
+            "message": "boom",
+            "replica": 2,
+            "rid": 7,
+            "block": 3,
+            "time": 1.5,
+        }
+        assert v.format() == (
+            "invariant request-conservation violated: boom "
+            "[replica=2 rid=7 block=3 t=1.5]"
+        )
+        assert isinstance(v, AssertionError)
+
+
+# ----------------------------------------------------------------------
+# End-to-end transparency: golden digests with the sanitizer attached
+# ----------------------------------------------------------------------
+_GOLDEN_UNDER_CHECK = [
+    "sessions-prefix-affinity-fleet",  # prefix sharing across a fleet
+    "chaos-crash-straggler-fleet",  # crash + straggler + prefix cache
+]
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", _GOLDEN_UNDER_CHECK)
+    def test_golden_digest_unchanged_under_invariants(self, name):
+        kwargs, expected = next(
+            (kw, digest) for n, kw, digest in GOLDEN if n == name
+        )
+        checker = InvariantChecker()
+        report = run_spec(
+            ExperimentSpec.create(model="llama70b", seed=kwargs.pop("seed", 0), **kwargs),
+            invariants=checker,
+        )
+        digest = hashlib.sha256(report_to_json(report).encode("utf-8")).hexdigest()
+        assert digest == expected, "sanitizer must not perturb simulation"
+        assert checker.checks > 1000  # it actually ran, densely
+
+    def test_solo_run_checked(self):
+        checker = InvariantChecker()
+        spec = ExperimentSpec.create(
+            model="llama70b",
+            system="vllm",
+            rps=6.0,
+            duration_s=6.0,
+            trace="sessions",
+            prefix_cache=True,
+            seed=3,
+        )
+        baseline = report_to_json(run_spec(spec))
+        checked = report_to_json(run_spec(spec, invariants=checker))
+        assert checked == baseline
+        assert checker.checks > 100
+
+    def test_cli_flag_reports_checks(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "run",
+                    "--system",
+                    "vllm",
+                    "--rps",
+                    "2.0",
+                    "--duration",
+                    "4",
+                    "--trace",
+                    "steady",
+                    "--check-invariants",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "invariants: ok (" in captured.err
+        assert "cache: bypassed (--check-invariants always simulates)" in captured.out
+
+    def test_cli_surfaces_violation(self, capsys, monkeypatch):
+        import repro.analysis.runner as runner_mod
+        from repro.cli import main
+
+        def explode(config, observer=None, invariants=None):
+            raise InvariantViolation("kv-conservation", "synthetic", replica=1, rid=4)
+
+        monkeypatch.setattr(runner_mod, "run_spec", explode)
+        code = main(
+            [
+                "run",
+                "--system",
+                "vllm",
+                "--rps",
+                "2.0",
+                "--duration",
+                "4",
+                "--check-invariants",
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "invariant kv-conservation violated" in err
+        assert "replica=1" in err and "rid=4" in err

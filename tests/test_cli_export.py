@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from typing import ClassVar
 
 import pytest
 
@@ -146,7 +147,7 @@ class TestCLI:
 
 
 class TestCLICluster:
-    _CLUSTER = ["cluster", "--system", "vllm", "--replicas", "2", "--router", "p2c",
+    _CLUSTER: ClassVar[list[str]] = ["cluster", "--system", "vllm", "--replicas", "2", "--router", "p2c",
                 "--rps", "3.0", "--duration", "4", "--trace", "steady", "--no-cache"]
 
     def test_cluster_command_runs(self, capsys):
@@ -156,22 +157,22 @@ class TestCLICluster:
         assert "router: p2c" in out
 
     def test_cluster_autoscale_flag(self, capsys):
-        argv = self._CLUSTER + ["--autoscale", "--max-replicas", "3", "--warmup", "1.0"]
+        argv = [*self._CLUSTER, "--autoscale", "--max-replicas", "3", "--warmup", "1.0"]
         assert main(argv) == 0
         assert "autoscale: on" in capsys.readouterr().out
 
     def test_autoscale_knobs_require_autoscale_flag(self, capsys):
-        assert main(self._CLUSTER + ["--max-replicas", "4"]) == 2
+        assert main([*self._CLUSTER, "--max-replicas", "4"]) == 2
         assert "--autoscale" in capsys.readouterr().err
-        assert main(self._CLUSTER + ["--warmup", "1.0"]) == 2
+        assert main([*self._CLUSTER, "--warmup", "1.0"]) == 2
 
     def test_max_replicas_must_cover_initial_fleet(self, capsys):
-        argv = self._CLUSTER + ["--autoscale", "--max-replicas", "1"]
+        argv = [*self._CLUSTER, "--autoscale", "--max-replicas", "1"]
         assert main(argv) == 2
         assert "must be >=" in capsys.readouterr().err
 
     def test_negative_warmup_rejected(self, capsys):
-        argv = self._CLUSTER + ["--autoscale", "--warmup", "-1"]
+        argv = [*self._CLUSTER, "--autoscale", "--warmup", "-1"]
         assert main(argv) == 2
         assert "--warmup" in capsys.readouterr().err
 
@@ -250,26 +251,26 @@ class TestCLISweepDedupe:
 
 
 class TestCLICache:
-    _RUN = ["run", "--system", "vllm", "--rps", "1.0", "--duration", "4",
+    _RUN: ClassVar[list[str]] = ["run", "--system", "vllm", "--rps", "1.0", "--duration", "4",
             "--trace", "steady"]
-    _SWEEP = ["sweep", "--systems", "vllm", "sarathi", "--rps", "1.0", "2.0",
+    _SWEEP: ClassVar[list[str]] = ["sweep", "--systems", "vllm", "sarathi", "--rps", "1.0", "2.0",
               "--duration", "4", "--trace", "steady"]
 
     def test_parser_cache_flags(self):
-        args = build_parser().parse_args(self._SWEEP + ["--jobs", "4", "--no-cache"])
+        args = build_parser().parse_args([*self._SWEEP, "--jobs", "4", "--no-cache"])
         assert args.jobs == 4
         assert args.no_cache
-        args = build_parser().parse_args(self._RUN + ["--cache-dir", "/tmp/x"])
+        args = build_parser().parse_args([*self._RUN, "--cache-dir", "/tmp/x"])
         assert args.cache_dir == "/tmp/x"
 
     def test_jobs_rejected_where_meaningless_or_invalid(self):
         with pytest.raises(SystemExit):  # run is a single point; no --jobs
-            build_parser().parse_args(self._RUN + ["--jobs", "2"])
+            build_parser().parse_args([*self._RUN, "--jobs", "2"])
         with pytest.raises(SystemExit):
-            build_parser().parse_args(self._SWEEP + ["--jobs", "0"])
+            build_parser().parse_args([*self._SWEEP, "--jobs", "0"])
 
     def test_cache_prune_command(self, capsys, tmp_path):
-        argv = self._RUN + ["--cache-dir", str(tmp_path)]
+        argv = [*self._RUN, "--cache-dir", str(tmp_path)]
         assert main(argv) == 0
         capsys.readouterr()
         # Strand the record by rewriting its embedded code fingerprint.
@@ -288,7 +289,7 @@ class TestCLICache:
         assert "removed 0 stale record(s)" in capsys.readouterr().out
 
     def test_repeated_run_hits_cache(self, capsys, tmp_path):
-        argv = self._RUN + ["--cache-dir", str(tmp_path)]
+        argv = [*self._RUN, "--cache-dir", str(tmp_path)]
         assert main(argv) == 0
         cold = capsys.readouterr().out
         assert "simulations executed: 1" in cold
@@ -302,7 +303,7 @@ class TestCLICache:
         assert strip(cold) == strip(warm)
 
     def test_repeated_sweep_runs_zero_simulations(self, capsys, tmp_path):
-        argv = self._SWEEP + ["--cache-dir", str(tmp_path)]
+        argv = [*self._SWEEP, "--cache-dir", str(tmp_path)]
         assert main(argv) == 0
         assert "simulations executed: 4" in capsys.readouterr().out
         assert main(argv) == 0
@@ -310,6 +311,6 @@ class TestCLICache:
 
     def test_no_cache_writes_nothing(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
-        assert main(self._RUN + ["--no-cache"]) == 0
+        assert main([*self._RUN, "--no-cache"]) == 0
         capsys.readouterr()
         assert not (tmp_path / "cache").exists()

@@ -195,13 +195,14 @@ class TestEmptyCategories:
 class TestViolationReduction:
     def test_ratio(self):
         base = compute_metrics(
-            [finished_request(i, duration=2.0) for i in range(2)]
-            + [finished_request(9, duration=0.3)]
+            [*(finished_request(i, duration=2.0) for i in range(2)), finished_request(9, duration=0.3)]
         )  # 2/3 violations
         good = compute_metrics(
-            [finished_request(i, duration=2.0) for i in range(1)]
-            + [finished_request(8, duration=0.3)] * 1
-            + [finished_request(7, duration=0.3)]
+            [
+                *(finished_request(i, duration=2.0) for i in range(1)),
+                *[finished_request(8, duration=0.3)] * 1,
+                finished_request(7, duration=0.3),
+            ]
         )  # 1/3 violations
         assert violation_reduction(base, good) == pytest.approx(2.0)
 

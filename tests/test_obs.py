@@ -14,6 +14,7 @@ The subsystem's contract has three load-bearing clauses:
 from __future__ import annotations
 
 import json
+from typing import ClassVar
 
 import pytest
 
@@ -358,7 +359,7 @@ class TestSlowestRequests:
 
 
 class TestTraceCLI:
-    ARGS = [
+    ARGS: ClassVar[list[str]] = [
         "trace",
         "--replicas", "2",
         "--faults", "crash:at=4,replica=1,restart=2",
@@ -375,7 +376,7 @@ class TestTraceCLI:
         for name in ("a.json", "b.json"):
             out = tmp_path / name
             series = tmp_path / f"series-{name}"
-            argv = self.ARGS + [
+            argv = [*self.ARGS, 
                 "--out", str(out),
                 "--series-out", str(series),
                 "--iteration-log",
@@ -391,7 +392,7 @@ class TestTraceCLI:
     def test_markdown_table_on_stdout(self, tmp_path, capsys):
         from repro.cli import main
 
-        argv = self.ARGS + ["--markdown", "--out", str(tmp_path / "t.json")]
+        argv = [*self.ARGS, "--markdown", "--out", str(tmp_path / "t.json")]
         assert main(argv) == 0
         stdout = capsys.readouterr().out
         assert stdout.lstrip().startswith("| rid |")

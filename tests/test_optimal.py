@@ -76,8 +76,8 @@ def brute_force_best(pair, ctx, budget_nodes: int) -> float:
         dist = pair.target_distribution(c)
         for tok, p in list(zip(dist.token_ids, dist.probs))[:4]:
             f = prob * p
-            candidates.append((prefix + (tok,), f))
-            expand(prefix + (tok,), pair.extend(c, tok), f, depth - 1)
+            candidates.append(((*prefix, tok), f))
+            expand((*prefix, tok), pair.extend(c, tok), f, depth - 1)
 
     expand((), ctx, 1.0, 5)
     candidates.sort(key=lambda cf: cf[1], reverse=True)
