@@ -27,18 +27,15 @@ from repro.serving.server import SimulationReport
 REPORT_SCHEMA_VERSION = 4
 
 
-def _nan_to_null(value: float) -> float | None:
-    """NaN sentinels (undefined category stats) as JSON null, not ``NaN``.
+def _nan_to_null(value: float | None) -> float | None:
+    """Undefined statistics as JSON null, never a bare ``NaN`` token.
 
-    Python's ``json`` emits a bare ``NaN`` token, which is invalid strict
-    JSON and unreadable by non-Python consumers.
+    Current metrics use ``None`` for undefined category stats; NaN is
+    still mapped for externally supplied historical records.  Python's
+    ``json`` would emit a bare ``NaN`` token — invalid strict JSON and
+    unreadable by non-Python consumers.
     """
-    return None if math.isnan(value) else value
-
-
-def _null_to_nan(value: float | None) -> float:
-    """Inverse of :func:`_nan_to_null`."""
-    return float("nan") if value is None else value
+    return None if value is None or math.isnan(value) else value
 
 
 def metrics_to_dict(metrics: RunMetrics) -> dict:
@@ -100,12 +97,12 @@ def metrics_from_dict(d: dict) -> RunMetrics:
             name=name,
             num_requests=cd["num_requests"],
             num_attained=num_attained,
-            mean_tpot_s=_null_to_nan(cd["mean_tpot_s"]),
-            p99_tpot_s=_null_to_nan(cd["p99_tpot_s"]),
-            mean_ttft_s=_null_to_nan(cd.get("mean_ttft_s")),
-            p99_ttft_s=_null_to_nan(cd.get("p99_ttft_s")),
-            p50_tpot_s=_null_to_nan(cd.get("p50_tpot_s")),
-            p50_ttft_s=_null_to_nan(cd.get("p50_ttft_s")),
+            mean_tpot_s=cd["mean_tpot_s"],
+            p99_tpot_s=cd["p99_tpot_s"],
+            mean_ttft_s=cd.get("mean_ttft_s"),
+            p99_ttft_s=cd.get("p99_ttft_s"),
+            p50_tpot_s=cd.get("p50_tpot_s"),
+            p50_ttft_s=cd.get("p50_ttft_s"),
         )
     return RunMetrics(
         num_requests=d["num_requests"],
@@ -148,9 +145,8 @@ def report_from_dict(d: dict) -> SimulationReport:
     Per-request detail is not serialized, so the reconstructed report has
     an empty ``requests`` list; every aggregate (metrics, phase breakdown,
     iteration counts) round-trips exactly.  Undefined category statistics
-    (a category with no finished requests) round-trip as NaN via JSON
-    null — numerically faithful, though ``==`` on such metrics is False
-    by NaN semantics.
+    (a category with no finished requests) round-trip as ``None`` via
+    JSON null, so ``==`` holds between a report and its round-trip.
     """
     return SimulationReport(
         scheduler_name=d["scheduler"],

@@ -11,7 +11,7 @@ The subcommands mirror how the repository is used:
 - ``list``: introspect the component registries (systems, routers,
   traces, models) with their parameter schemas;
 - ``bench``: measure the *simulator's* own throughput (iterations per
-  wall-second) over the standard perf suite and write ``BENCH_PR8.json``
+  wall-second) over the standard perf suite and write ``BENCH_PR9.json``
   (see :mod:`repro.perfbench`); ``--baseline`` (defaulting to the newest
   committed ``BENCH_PR*.json``) warns on perf regressions and **fails**
   on fixed-seed digest divergence;
@@ -21,7 +21,15 @@ The subcommands mirror how the repository is used:
 - ``trace``: run one experiment with observability on (see
   :mod:`repro.obs`) and export a Perfetto/Chrome ``trace_event`` JSON
   (``--out``), an optional gauge time-series (``--series-out``), and a
-  top-N slowest-requests table;
+  top-N slowest-requests table with a dominant-latency-component
+  attribution column;
+- ``explain``: run one experiment with tracing on and decompose every
+  request's latency into named components (queue wait, prefill/decode
+  compute, preemption stalls, straggler inflation, failover redo,
+  prefix-miss penalty — they sum exactly to end-to-end latency), print
+  per-category attribution and SLO root-cause tables, and — with
+  ``--baseline OTHER.json`` — diff against a previous attribution
+  export component by component, exiting nonzero on regression;
 - ``profile``: hardware profiling (Table 1 derived quantities).
 
 Components are referenced by registry spec strings — ``adaserve``,
@@ -48,6 +56,8 @@ Examples
     python -m repro cluster --replicas 3 --faults crash:at=20,replica=1 --faults straggler:slow=2
     python -m repro chaos-report --replicas 3 --router affinity --faults crash --markdown
     python -m repro trace --replicas 2 --faults crash --duration 20 --out trace.json
+    python -m repro explain --replicas 2 --faults crash --out attrib.json
+    python -m repro explain --baseline attrib.json --replicas 2 --faults crash
     python -m repro list systems
     python -m repro profile --model llama70b
 """
@@ -67,7 +77,7 @@ from repro.analysis.report import format_table, point_from_metrics, series_table
 from repro.analysis.runner import ExperimentConfig, SweepRunner
 from repro.analysis.spec import SYSTEM_FIELD_AXES, apply_axis, parse_grid_axis
 from repro.check.rules import CHECKS
-from repro.obs import ObsSpec
+from repro.obs import DEFAULT_ABS_THRESHOLD_S, DEFAULT_REL_THRESHOLD, ObsSpec
 from repro.hardware.profiler import HardwareProfiler
 from repro.perfbench.suite import DEFAULT_OUT as _DEFAULT_BENCH_OUT
 from repro.registry import FAULTS, MODELS, ROUTERS, SYSTEMS, TRACES, SpecError
@@ -151,6 +161,13 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
         "crash:at=120,replica=1 or straggler:slow=2.0 "
         "(see `repro list faults`; forces the fleet execution path)",
     )
+
+
+def _nonneg_float(text: str) -> float:
+    value = float(text)
+    if not math.isfinite(value) or value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0 and finite, got {value:g}")
+    return value
 
 
 def _positive_int(text: str) -> int:
@@ -323,13 +340,17 @@ def _print_report(report, model: str) -> None:
             f"prefix cache: hit rate {m.prefix_hit_rate * 100:.1f}%   "
             f"prefill tokens saved {m.prefill_tokens_saved}"
         )
+    def _ms(value: float | None) -> str:
+        # None = no finished requests in the category (no samples).
+        return "-" if value is None else f"{value * 1e3:.1f}"
+
     rows = [
         [
             cat,
             f"{cm.attainment * 100:.1f}%",
-            f"{cm.mean_tpot_s * 1e3:.1f}",
-            f"{cm.p50_tpot_s * 1e3:.1f}",
-            f"{cm.p99_tpot_s * 1e3:.1f}",
+            _ms(cm.mean_tpot_s),
+            _ms(cm.p50_tpot_s),
+            _ms(cm.p99_tpot_s),
             str(cm.num_requests),
         ]
         for cat, cm in m.per_category.items()
@@ -647,7 +668,7 @@ def _cmd_trace(args) -> int:
     stderr.
     """
     from repro.analysis.runner import run_traced
-    from repro.obs import format_slowest_table, perfetto_json, series_to_json
+    from repro.obs import decompose, format_slowest_table, perfetto_json, series_to_json
 
     obs = ObsSpec(
         trace=True,
@@ -678,8 +699,76 @@ def _cmd_trace(args) -> int:
     )
     if args.series_out:
         _write_out(args.series_out, series_to_json(observer))
-    print(format_slowest_table(report.requests, n=args.top, markdown=args.markdown))
+    attribs = decompose(observer.collector, report.requests, report.sim_time_s)
+    dominant = {a.rid: a.dominant for a in attribs}
+    print(
+        format_slowest_table(
+            report.requests, n=args.top, markdown=args.markdown, attributions=dominant
+        )
+    )
     return 0
+
+
+def _cmd_explain(args) -> int:
+    """Attribute latency and diagnose SLO violations for one experiment.
+
+    Runs the spec with tracing on (always fresh; see ``repro trace``),
+    decomposes every request's end-to-end latency into the named
+    components of :mod:`repro.obs.attrib`, and prints the per-category
+    attribution table, the violation root-cause table, and fleet
+    diagnostics.  ``--out`` writes the full attribution export as strict
+    JSON (byte-deterministic for a fixed seed).  ``--baseline FILE``
+    additionally diffs this run against a previous export component by
+    component: exit 1 on regression past the thresholds, 2 on an
+    unreadable baseline.  Stdout carries only the tables (markdown with
+    ``--markdown``); run status goes to stderr.
+    """
+    from repro.analysis.runner import run_traced
+    from repro.obs import (
+        attribution_to_dict,
+        attribution_to_json,
+        decompose,
+        diff_attributions,
+        format_attribution,
+        format_diff_table,
+    )
+
+    obs = ObsSpec(trace=True, sample_every_s=args.sample_every)
+    config = _config_for(
+        args, args.system, args.rps,
+        replicas=args.replicas, router=args.router, obs=obs,
+    )
+    invariants = _maybe_invariants(args)
+    report, observer = run_traced(config, invariants=invariants)
+    _note_invariants(invariants)
+    attribs = decompose(observer.collector, report.requests, report.sim_time_s)
+    payload = attribution_to_dict(
+        attribs, report.sim_time_s, sampler=observer.sampler, chaos=report.chaos
+    )
+    print(
+        f"explained {payload['num_requests']} request(s), "
+        f"{payload['num_violated']} SLO violation(s), over "
+        f"{report.sim_time_s:.1f}s simulated",
+        file=sys.stderr,
+    )
+    _write_out(args.out, attribution_to_json(payload))
+    print(format_attribution(payload, markdown=args.markdown))
+    if args.baseline is None:
+        return 0
+    try:
+        baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_attributions(
+        baseline,
+        payload,
+        rel_threshold=args.rel_threshold,
+        abs_threshold_s=args.abs_threshold,
+    )
+    print()
+    print(format_diff_table(diff, markdown=args.markdown))
+    return 1 if diff["regressions"] else 0
 
 
 def _cmd_check(args) -> int:
@@ -949,6 +1038,74 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_check_args(p_trace)
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="attribute per-request latency to components and "
+        "diagnose SLO violations",
+    )
+    _add_workload_args(p_explain)
+    p_explain.add_argument("--system", type=_system_spec, default="adaserve")
+    p_explain.add_argument("--rps", type=_positive_float, default=8.0)
+    p_explain.add_argument(
+        "--replicas",
+        type=_positive_int,
+        default=1,
+        help="replica fleet size (> 1 or --faults forces the fleet path)",
+    )
+    p_explain.add_argument(
+        "--router",
+        type=_router_spec,
+        default="round-robin",
+        help="routing policy spec (see `repro list routers`), e.g. affinity:reserve=0.4",
+    )
+    p_explain.add_argument("--max-sim-time", type=_positive_float, default=1800.0)
+    p_explain.add_argument(
+        "--sample-every",
+        type=_positive_float,
+        default=0.5,
+        metavar="SECONDS",
+        help="gauge sampling period in simulated seconds for the fleet "
+        "diagnostics (default: 0.5)",
+    )
+    p_explain.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the attribution export as strict JSON "
+        "(byte-deterministic; diffable via --baseline)",
+    )
+    p_explain.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="diff against a previous attribution export component by "
+        "component; exit 1 when any component regresses past the thresholds",
+    )
+    p_explain.add_argument(
+        "--rel-threshold",
+        type=_nonneg_float,
+        default=DEFAULT_REL_THRESHOLD,
+        metavar="FRACTION",
+        help="relative growth a component must exceed to regress "
+        f"(default: {DEFAULT_REL_THRESHOLD}; both thresholds must trip)",
+    )
+    p_explain.add_argument(
+        "--abs-threshold",
+        type=_nonneg_float,
+        default=DEFAULT_ABS_THRESHOLD_S,
+        metavar="SECONDS",
+        help="absolute growth a component must exceed to regress "
+        f"(default: {DEFAULT_ABS_THRESHOLD_S}; both thresholds must trip)",
+    )
+    p_explain.add_argument(
+        "--markdown",
+        action="store_true",
+        help="print the tables as GitHub markdown "
+        "(stdout carries only the tables, e.g. for $GITHUB_STEP_SUMMARY)",
+    )
+    _add_check_args(p_explain)
+    p_explain.set_defaults(func=_cmd_explain)
 
     p_check = sub.add_parser(
         "check",

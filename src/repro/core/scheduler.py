@@ -299,4 +299,8 @@ class AdaServeScheduler(Scheduler):
                     self.waiting.remove(req)
                 req.begin_decode(self.engine.root_ctx(req), end)
                 self.running.append(req)
+        obs = self.engine.obs
+        if obs is not None:
+            for req, tokens in chunks:
+                obs.prefill(now, latency, req, tokens)
         return latency

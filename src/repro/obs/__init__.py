@@ -12,10 +12,31 @@ Entry points:
 
 - ``repro trace`` CLI: run one spec with tracing, export Perfetto +
   time-series JSON, print the slowest-requests table;
+- ``repro explain`` CLI: exact per-request latency attribution, SLO
+  root-cause tables, fleet-efficiency diagnostics, and ``--baseline``
+  diffing of two attribution exports (:mod:`repro.obs.attrib`,
+  :mod:`repro.obs.diff`);
 - :func:`repro.analysis.runner.run_traced`: the same as a library call,
   returning ``(report, RunObserver)``.
 """
 
+from repro.obs.attrib import (
+    ATTRIB_SCHEMA_VERSION,
+    COMPONENTS,
+    RequestAttribution,
+    attribution_to_dict,
+    attribution_to_json,
+    decompose,
+    fleet_efficiency,
+    format_attribution,
+    root_causes,
+)
+from repro.obs.diff import (
+    DEFAULT_ABS_THRESHOLD_S,
+    DEFAULT_REL_THRESHOLD,
+    diff_attributions,
+    format_diff_table,
+)
 from repro.obs.export import (
     TRACE_SCHEMA_VERSION,
     format_slowest_table,
@@ -31,20 +52,33 @@ from repro.obs.spec import ObsSpec
 from repro.obs.trace import FLEET_TRACK, ReplicaTracer, TraceCollector, TraceEvent
 
 __all__ = [
+    "ATTRIB_SCHEMA_VERSION",
+    "COMPONENTS",
+    "DEFAULT_ABS_THRESHOLD_S",
+    "DEFAULT_REL_THRESHOLD",
     "FLEET_FIELDS",
     "FLEET_TRACK",
     "GaugeSampler",
     "ObsSpec",
     "REPLICA_FIELDS",
     "ReplicaTracer",
+    "RequestAttribution",
     "RunObserver",
     "Sample",
     "TRACE_SCHEMA_VERSION",
     "TraceCollector",
     "TraceEvent",
+    "attribution_to_dict",
+    "attribution_to_json",
+    "decompose",
+    "diff_attributions",
+    "fleet_efficiency",
+    "format_attribution",
+    "format_diff_table",
     "format_slowest_table",
     "perfetto_json",
     "perfetto_trace",
+    "root_causes",
     "series_to_dict",
     "series_to_json",
     "slowest_requests",

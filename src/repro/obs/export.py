@@ -287,8 +287,18 @@ def _fmt(value: float, digits: int = 3) -> str:
     return f"{value:.{digits}f}"
 
 
-def format_slowest_table(requests, n: int = 10, markdown: bool = False) -> str:
-    """Plain/markdown table of the top-N slowest requests."""
+def format_slowest_table(
+    requests,
+    n: int = 10,
+    markdown: bool = False,
+    attributions: dict | None = None,
+) -> str:
+    """Plain/markdown table of the top-N slowest requests.
+
+    ``attributions`` optionally maps rid -> dominant latency component
+    (see :func:`repro.obs.attrib.decompose`); when given, an
+    "attribution" column says where each slow request's time went.
+    """
     header = (
         "rid",
         "category",
@@ -301,24 +311,27 @@ def format_slowest_table(requests, n: int = 10, markdown: bool = False) -> str:
         "preempt",
         "failover",
     )
+    if attributions is not None:
+        header += ("attribution",)
     rows = []
     for req in slowest_requests(requests, n):
         e2e = req.finish_time - req.arrival_time if req.is_finished else None
         tpot = req.avg_tpot
-        rows.append(
-            (
-                str(req.rid),
-                req.category,
-                "finished" if req.is_finished else "unfinished",
-                _fmt(req.arrival_time),
-                _fmt(req.ttft),
-                _fmt(None if math.isinf(tpot) else tpot * 1e3, 1),
-                _fmt(e2e),
-                str(req.n_generated),
-                str(req.preempt_count),
-                str(req.failover_count),
-            )
+        row = (
+            str(req.rid),
+            req.category,
+            "finished" if req.is_finished else "unfinished",
+            _fmt(req.arrival_time),
+            _fmt(req.ttft),
+            _fmt(None if math.isinf(tpot) else tpot * 1e3, 1),
+            _fmt(e2e),
+            str(req.n_generated),
+            str(req.preempt_count),
+            str(req.failover_count),
         )
+        if attributions is not None:
+            row += (attributions.get(req.rid, "-"),)
+        rows.append(row)
     if not rows:
         return "(no requests)"
     widths = [

@@ -66,12 +66,27 @@ class TraceEvent:
 
 
 class TraceCollector:
-    """Append-only event sink shared by every emitter in one run."""
+    """Append-only event sink shared by every emitter in one run.
 
-    __slots__ = ("events",)
+    Query helpers (:meth:`of_kind`, :meth:`for_request`) are backed by
+    lazily built kind/rid indexes: emitters append straight to
+    ``events`` (the hot path stays a plain ``list.append``), and a query
+    first folds any events appended since the last query into the index
+    — so interleaved append/query sequences stay correct and attribution
+    passes (one :meth:`for_request` per request; see
+    :mod:`repro.obs.attrib`) cost O(events) total instead of
+    O(requests x events).
+    """
+
+    __slots__ = ("events", "_by_kind", "_by_rid", "_indexed")
 
     def __init__(self) -> None:
         self.events: list[TraceEvent] = []
+        # Index state: events[:_indexed] have been folded in; anything
+        # appended later is picked up by the next _sync() call.
+        self._by_kind: dict[str, list[TraceEvent]] = {}
+        self._by_rid: dict[int, list[TraceEvent]] = {}
+        self._indexed = 0
 
     def __len__(self) -> int:
         return len(self.events)
@@ -92,18 +107,31 @@ class TraceCollector:
         """Record one event directly (fleet-level emission sites)."""
         self.events.append(TraceEvent(t, kind, replica, rid, dur, data))
 
-    # -- query helpers (tests, summaries) -------------------------------
+    def _sync(self) -> None:
+        """Fold events appended since the last query into the indexes."""
+        events = self.events
+        for i in range(self._indexed, len(events)):
+            e = events[i]
+            self._by_kind.setdefault(e.kind, []).append(e)
+            if e.rid is not None:
+                self._by_rid.setdefault(e.rid, []).append(e)
+        self._indexed = len(events)
+
+    # -- query helpers (tests, summaries, attribution) -------------------
     def of_kind(self, kind: str) -> list[TraceEvent]:
         """All events of one kind, in emission order."""
-        return [e for e in self.events if e.kind == kind]
+        self._sync()
+        return list(self._by_kind.get(kind, ()))
 
     def for_request(self, rid: int) -> list[TraceEvent]:
         """All events of one request, in emission order."""
-        return [e for e in self.events if e.rid == rid]
+        self._sync()
+        return list(self._by_rid.get(rid, ()))
 
     def kinds(self) -> set[str]:
         """The set of kinds that actually occurred."""
-        return {e.kind for e in self.events}
+        self._sync()
+        return set(self._by_kind)
 
 
 class ReplicaTracer:

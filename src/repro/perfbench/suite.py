@@ -33,13 +33,20 @@ so ``BENCH_PR*.json`` files remain comparable across PRs::
       "scenarios": [
         {"name": ..., "runs": ..., "wall_s": ..., "iterations": ...,
          "iters_per_s": ..., "sim_time_s": ..., "sim_s_per_wall_s": ...,
-         "digest": "sha256:..."},
+         "digest": "sha256:...", "attrib_digest": "sha256:..."},
         ...
       ],
       "aggregate": {"wall_s": ..., "iterations": ..., "iters_per_s": ...,
                     "sim_time_s": ..., "sim_s_per_wall_s": ...},
       "baseline": {...optional embedded comparison...}
     }
+
+``attrib_digest`` hashes the scenario's latency-attribution export
+(:mod:`repro.obs.attrib` over the first spec, traced **outside** the
+timed loop): the report digest proves *what* the simulator produced is
+unchanged, the attribution digest proves *where the time went* is
+unchanged — a second, finer determinism surface covering the trace
+grammar itself.
 """
 
 from __future__ import annotations
@@ -60,7 +67,7 @@ from repro.analysis.spec import ExperimentSpec
 BENCH_SCHEMA_VERSION = 1
 
 #: Default output path for the committed perf trajectory.
-DEFAULT_OUT = "BENCH_PR8.json"
+DEFAULT_OUT = "BENCH_PR9.json"
 
 #: Iterations/s regression (fractional drop vs baseline) that triggers a
 #: warning in :func:`compare_to_baseline`.
@@ -153,6 +160,29 @@ def build_suite(quick: bool = False) -> list[Scenario]:
     ]
 
 
+def _attrib_digest(spec: ExperimentSpec) -> str:
+    """SHA-256 over the spec's latency-attribution export.
+
+    Traced rerun of one spec (obs on; the spec's cache key and report
+    are unchanged — observation is passive), digesting the strict-JSON
+    attribution payload.  Pins the trace grammar and the decomposition:
+    a prefill span that moves, a preemption that stops being emitted, or
+    a component that drifts all change this digest while the report
+    digest stays put.
+    """
+    from dataclasses import replace
+
+    from repro.analysis.runner import run_traced
+    from repro.obs import ObsSpec, attribution_to_dict, attribution_to_json, decompose
+
+    traced = replace(spec, obs=ObsSpec(trace=True))
+    report, observer = run_traced(traced)
+    attribs = decompose(observer.collector, report.requests, report.sim_time_s)
+    payload = attribution_to_dict(attribs, report.sim_time_s, chaos=report.chaos)
+    digest = hashlib.sha256(attribution_to_json(payload).encode("utf-8"))
+    return f"sha256:{digest.hexdigest()}"
+
+
 def run_scenario(scenario: Scenario) -> dict:
     """Execute one scenario; returns its result row (stable schema)."""
     digest = hashlib.sha256()
@@ -166,6 +196,10 @@ def run_scenario(scenario: Scenario) -> dict:
         digest.update(report_to_json(report).encode("utf-8"))
         digest.update(b"\0")
     wall = time.perf_counter() - start
+    # Attribution digest of the first spec, computed OUTSIDE the timed
+    # window: it re-runs the simulation with tracing on, and that cost
+    # must not pollute the iterations/s measurement.
+    attrib_digest = _attrib_digest(scenario.specs[0])
     return {
         "name": scenario.name,
         "description": scenario.description,
@@ -176,6 +210,7 @@ def run_scenario(scenario: Scenario) -> dict:
         "sim_time_s": sim_time,
         "sim_s_per_wall_s": sim_time / wall if wall > 0 else 0.0,
         "digest": f"sha256:{digest.hexdigest()}",
+        "attrib_digest": attrib_digest,
     }
 
 
@@ -263,6 +298,21 @@ def compare_to_baseline(
                     f"error: scenario {row['name']!r} report digest diverged from "
                     f"baseline ({base['digest']} -> {row['digest']}); fixed-seed "
                     "simulation output changed"
+                )
+            # Attribution digests are held to the same standard: the
+            # trace grammar and latency decomposition are deterministic
+            # functions of the run.  Baselines predating the field are
+            # skipped.
+            if (
+                "attrib_digest" in base
+                and "attrib_digest" in row
+                and base["attrib_digest"] != row["attrib_digest"]
+            ):
+                errors.append(
+                    f"error: scenario {row['name']!r} attribution digest diverged "
+                    f"from baseline ({base['attrib_digest']} -> "
+                    f"{row['attrib_digest']}); fixed-seed trace/attribution "
+                    "output changed"
                 )
     per_scenario: dict[str, dict] = {}
     for row in current["scenarios"]:

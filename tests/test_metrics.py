@@ -132,11 +132,9 @@ class TestComputeMetrics:
 
 
 class TestEmptyCategories:
-    """Categories with zero completed requests degrade to NaN/0, never raise."""
+    """Categories with zero completed requests degrade to None/0, never raise."""
 
     def test_category_with_no_finished_requests(self):
-        import math
-
         ok = finished_request(0, category="coding")
         pending = make_request(rid=1, category="chatbot")  # never finishes
         m = compute_metrics([ok, pending])
@@ -144,37 +142,45 @@ class TestEmptyCategories:
         assert cm.num_requests == 1
         assert cm.num_attained == 0
         assert cm.attainment == 0.0
+        # None, not NaN: NaN sentinels broke dataclass equality between
+        # byte-identical runs and strict-JSON allow_nan=False export —
+        # the RunMetrics.mean_ttft_s convention applies everywhere.
         for stat in (
             cm.mean_tpot_s, cm.p50_tpot_s, cm.p99_tpot_s,
             cm.mean_ttft_s, cm.p50_ttft_s, cm.p99_ttft_s,
         ):
-            assert math.isnan(stat)
+            assert stat is None
+
+    def test_empty_category_metrics_compare_equal(self):
+        # Regression: with NaN sentinels, two identical runs produced
+        # CategoryMetrics that compared unequal (NaN != NaN).
+        def metrics():
+            return compute_metrics(
+                [finished_request(0), make_request(rid=1, category="chatbot")]
+            )
+
+        assert metrics() == metrics()
+        assert metrics().per_category["chatbot"] == metrics().per_category["chatbot"]
 
     def test_no_finished_requests_at_all(self):
         m = compute_metrics([make_request(rid=i) for i in range(3)])
         assert m.num_finished == 0
         assert m.attainment == 0.0
         assert m.goodput == 0.0
-        # None, not NaN: the aggregate stays == across identical runs
-        # (per-category stats keep their historical NaN sentinels, which
-        # compare unequal by design — see repro.analysis.export).
         assert m.mean_ttft_s is None
         again = compute_metrics([make_request(rid=i) for i in range(3)])
-        assert m.mean_ttft_s == again.mean_ttft_s
-        assert (m.num_requests, m.prefix_hit_requests, m.prefill_tokens_saved) == (
-            again.num_requests, again.prefix_hit_requests, again.prefill_tokens_saved
-        )
+        assert m == again  # full equality, no NaN sentinels anywhere
 
     def test_empty_category_serializes_to_strict_json(self):
         from repro.analysis.export import metrics_from_dict, metrics_to_dict
         import json
-        import math
 
         m = compute_metrics([finished_request(0), make_request(rid=1, category="chatbot")])
         text = json.dumps(metrics_to_dict(m), allow_nan=False)  # no NaN tokens
         back = metrics_from_dict(json.loads(text))
-        assert math.isnan(back.per_category["chatbot"].mean_tpot_s)
+        assert back.per_category["chatbot"].mean_tpot_s is None
         assert back.num_requests == m.num_requests
+        assert back == m  # None round-trips; NaN could not
 
     def test_prefix_fields_aggregate_from_requests(self):
         a = finished_request(0)

@@ -44,10 +44,10 @@ class TestCategoryTTFT:
         assert cm.mean_ttft_s == pytest.approx(0.3)
         assert cm.p99_ttft_s == pytest.approx(0.4)
 
-    def test_nan_when_no_finishers(self):
+    def test_none_when_no_finishers(self):
         m = compute_metrics([make_request()])
         cm = m.per_category["coding"]
-        assert cm.mean_ttft_s != cm.mean_ttft_s  # NaN
+        assert cm.mean_ttft_s is None  # no samples, no sentinel
 
     def test_chunked_prefill_improves_decode_ttft_story(self, engine):
         # Sanity at the system level: TTFT is finite and ordered after a
