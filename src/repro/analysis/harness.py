@@ -150,6 +150,7 @@ def run_once(
     max_sim_time_s: float = 7200.0,
     observer=None,
     invariants=None,
+    metrics_mode: str = "exact",
     **scheduler_overrides,
 ) -> SimulationReport:
     """Run one system over one workload on a fresh engine.
@@ -158,7 +159,8 @@ def run_once(
     lifecycle tracing + gauge sampling; ``invariants`` (a
     :class:`~repro.check.invariants.InvariantChecker`) attaches the
     runtime sanitizer.  Both are passive, so the report is byte-identical
-    with or without them.
+    with or without them.  ``metrics_mode`` selects the aggregation path
+    (``exact`` or ``streaming``; see :mod:`repro.serving.streaming`).
     """
     engine = setup.build_engine()
     if observer is not None:
@@ -173,6 +175,7 @@ def run_once(
         max_sim_time_s=max_sim_time_s,
         observer=observer,
         invariants=invariants,
+        metrics_mode=metrics_mode,
     )
     return sim.run()
 
@@ -188,6 +191,7 @@ def run_cluster(
     max_sim_time_s: float = 7200.0,
     observer=None,
     invariants=None,
+    metrics_mode: str = "exact",
     **scheduler_overrides,
 ) -> FleetReport:
     """Run one system as a router-fronted fleet over one workload.
@@ -245,5 +249,6 @@ def run_cluster(
         max_sim_time_s=max_sim_time_s,
         observer=observer,
         invariants=invariants,
+        metrics_mode=metrics_mode,
     )
     return fleet.run()

@@ -119,6 +119,7 @@ def run_spec(
             max_sim_time_s=config.system.max_sim_time_s,
             observer=observer,
             invariants=invariants,
+            metrics_mode=config.system.metrics,
         ).summary
     return run_once(
         setup,
@@ -127,6 +128,7 @@ def run_spec(
         max_sim_time_s=config.system.max_sim_time_s,
         observer=observer,
         invariants=invariants,
+        metrics_mode=config.system.metrics,
     )
 
 

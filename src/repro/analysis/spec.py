@@ -107,14 +107,24 @@ class SystemSpec:
     max_sim_time_s: float = 1800.0
     #: Share prefix KV blocks across requests (see :mod:`repro.prefixcache`).
     prefix_cache: bool = False
+    #: Metrics aggregation: ``exact`` (reference, per-request sample
+    #: lists) or ``streaming`` (O(1) online accumulator with reservoir
+    #: percentiles; see :mod:`repro.serving.streaming`).
+    metrics: str = "exact"
 
     def __post_init__(self) -> None:
+        metrics = str(self.metrics)
+        if metrics not in ("exact", "streaming"):
+            raise SpecError(
+                f"metrics must be 'exact' or 'streaming', got {self.metrics!r}"
+            )
         _set(
             self,
             name=SYSTEMS.canonical(self.name),
             model=MODELS.canonical(self.model),
             max_sim_time_s=float(self.max_sim_time_s),
             prefix_cache=bool(self.prefix_cache),
+            metrics=metrics,
         )
         if not math.isfinite(self.max_sim_time_s) or self.max_sim_time_s <= 0:
             raise SpecError(
@@ -122,12 +132,20 @@ class SystemSpec:
             )
 
     def to_dict(self) -> dict:
-        return {
+        d = {
             "name": self.name,
             "model": self.model,
             "max_sim_time_s": self.max_sim_time_s,
             "prefix_cache": self.prefix_cache,
         }
+        # Defaulted-knob canonicalization: ``exact`` (the reference) is
+        # omitted so every pre-existing cache key and golden digest is
+        # unchanged.  ``streaming`` IS serialized — reservoir percentiles
+        # may legitimately differ from the exact reference above the
+        # reservoir capacity, so the knob must fork the cache key.
+        if self.metrics != "exact":
+            d["metrics"] = self.metrics
+        return d
 
 
 @dataclass(frozen=True)
@@ -233,6 +251,7 @@ class ExperimentSpec:
         mix: Mapping[str, float] | None = None,
         max_sim_time_s: float = 1800.0,
         prefix_cache: bool = False,
+        metrics: str = "exact",
         replicas: int = 1,
         router: str = "round-robin",
         autoscale: Mapping[str, float] | None = None,
@@ -263,6 +282,7 @@ class ExperimentSpec:
                 model=model,
                 max_sim_time_s=max_sim_time_s,
                 prefix_cache=prefix_cache,
+                metrics=metrics,
             ),
             cluster=ClusterSpec(
                 replicas=replicas,
@@ -365,6 +385,11 @@ class ExperimentSpec:
         return self.system.prefix_cache
 
     @property
+    def metrics(self) -> str:
+        """Metrics aggregation mode (``exact`` or ``streaming``)."""
+        return self.system.metrics
+
+    @property
     def replicas(self) -> int:
         return self.cluster.replicas
 
@@ -435,7 +460,7 @@ _WORKLOAD_AXES = {
 #: re-resolved through the SYSTEMS registry).  Shared with the CLI's
 #: sweep-label logic, which must keep a label for exactly these keys
 #: (they never show up in the scheduler's canonical spec string).
-SYSTEM_FIELD_AXES = ("prefix_cache",)
+SYSTEM_FIELD_AXES = ("prefix_cache", "metrics")
 
 
 @dataclass(frozen=True)
@@ -474,11 +499,10 @@ def apply_axis(spec: ExperimentSpec, path: str, value: str) -> ExperimentSpec:
     section, _, key = path.partition(".")
     if section == "system":
         if key in SYSTEM_FIELD_AXES:
-            # An engine-construction knob on the section itself, not a
-            # scheduler parameter (currently only ``prefix_cache``).
-            return replace(
-                spec, system=replace(spec.system, **{key: _parse_bool(path, value)})
-            )
+            # A run-construction knob on the section itself, not a
+            # scheduler parameter (``prefix_cache``, ``metrics``).
+            typed = value if key == "metrics" else _parse_bool(path, value)
+            return replace(spec, system=replace(spec.system, **{key: typed}))
         return replace(
             spec,
             system=replace(spec.system, name=SYSTEMS.with_params(spec.system.name, **{key: value})),

@@ -161,6 +161,13 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
         "crash:at=120,replica=1 or straggler:slow=2.0 "
         "(see `repro list faults`; forces the fleet execution path)",
     )
+    p.add_argument(
+        "--metrics",
+        choices=("exact", "streaming"),
+        default="exact",
+        help="metrics aggregation: exact (reference) or streaming "
+        "(O(1) memory, reservoir percentiles; population-scale runs)",
+    )
 
 
 def _nonneg_float(text: str) -> float:
@@ -264,6 +271,7 @@ def _config_for(
         mix=mix,
         max_sim_time_s=args.max_sim_time,
         prefix_cache=args.prefix_cache,
+        metrics=getattr(args, "metrics", "exact"),
         replicas=replicas,
         router=router,
         autoscale=autoscale,
@@ -555,6 +563,7 @@ def _cmd_bench(args) -> int:
     from repro.perfbench import (
         compare_to_baseline,
         format_bench_table,
+        gate_failures,
         latest_baseline,
         run_suite,
     )
@@ -598,14 +607,17 @@ def _cmd_bench(args) -> int:
         result = run_suite(quick=args.quick, progress=progress)
 
     warnings: list[str] = []
-    errors: list[str] = []
+    # Population gates (concurrency floor, memory ceiling, speedup,
+    # byte identity) are hard failures even without a baseline.
+    errors: list[str] = gate_failures(result.get("population"))
     if baseline_path is not None:
         try:
             baseline = load_result(baseline_path)
         except (OSError, ValueError) as exc:
             print(f"error: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
             return 2
-        summary, warnings, errors = compare_to_baseline(result, baseline)
+        summary, warnings, base_errors = compare_to_baseline(result, baseline)
+        errors.extend(base_errors)
         result["baseline"] = summary
 
     print(format_bench_table(result))

@@ -34,9 +34,9 @@ from repro.chaos import ChaosLog, FaultEvent, FaultSchedule, build_chaos_report
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig, ScaleEvent
 from repro.cluster.replica import Replica
 from repro.cluster.router import Router
-from repro.serving.clock import ArrivalStream, SimClock
+from repro.serving.clock import ArrivalStream, ChunkedArrivalStream, SimClock
 from repro.serving.engine import PhaseTimes, SimulatedEngine
-from repro.serving.metrics import compute_metrics
+from repro.serving.streaming import aggregate_metrics
 from repro.serving.request import Request
 from repro.serving.scheduler_base import Scheduler
 from repro.serving.server import SimulationReport
@@ -123,11 +123,15 @@ class FleetSimulator:
         max_iterations: int = 2_000_000,
         observer=None,
         invariants=None,
+        metrics_mode: str = "exact",
     ) -> None:
         if num_replicas < 1:
             raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
         self.replica_factory = replica_factory
-        self.requests = list(requests)
+        # A columnar workload (anything exposing iter_chunks in arrival
+        # order) is consumed lazily, like the solo simulator does.
+        self.requests = requests if hasattr(requests, "iter_chunks") else list(requests)
+        self.metrics_mode = metrics_mode
         self.router = router
         # Observability (repro.obs): fleet-level markers go straight to
         # the collector; gauge ticks fire lazily from the event loop.
@@ -434,7 +438,10 @@ class FleetSimulator:
         ties exactly as they do against steps.
         """
         clock = SimClock()
-        arrivals = ArrivalStream(self.requests)
+        if hasattr(self.requests, "iter_chunks"):
+            arrivals = ChunkedArrivalStream(self.requests.iter_chunks())
+        else:
+            arrivals = ArrivalStream(self.requests)
         iterations = 0
         horizon = self.max_sim_time_s
         heap = self._event_heap
@@ -574,7 +581,7 @@ class FleetSimulator:
             # Cover the drain tail up to the run's true end time.
             sampler.catch_up(sim_time_s)
 
-        replica_reports = [r.report() for r in self.replicas]
+        replica_reports = [r.report(self.metrics_mode) for r in self.replicas]
         all_requests = sorted(
             (req for rep in replica_reports for req in rep.requests),
             key=lambda r: r.rid,
@@ -591,7 +598,7 @@ class FleetSimulator:
         base_name = self.replicas[0].scheduler.name
         summary = SimulationReport(
             scheduler_name=f"{base_name} x{self._peak_live} [{self.router.name}]",
-            metrics=compute_metrics(all_requests),
+            metrics=aggregate_metrics(all_requests, self.metrics_mode),
             sim_time_s=sim_time_s,
             iterations=iterations,
             phase_breakdown=self._merged_phase_breakdown(),

@@ -19,8 +19,8 @@ routing policies in :mod:`repro.cluster.router` compare.
 from __future__ import annotations
 
 from repro.serving.engine import PhaseTimes, SimulatedEngine
-from repro.serving.metrics import compute_metrics
 from repro.serving.request import Request
+from repro.serving.streaming import aggregate_metrics
 from repro.serving.scheduler_base import Scheduler
 from repro.serving.server import SimulationReport
 
@@ -191,12 +191,12 @@ class Replica:
         return self._current_load()[1]
 
     # ------------------------------------------------------------------
-    def report(self) -> SimulationReport:
+    def report(self, metrics_mode: str = "exact") -> SimulationReport:
         """Per-replica simulation report (same shape as a solo run)."""
         requests = self._crash_finished + self.scheduler.all_requests()
         return SimulationReport(
             scheduler_name=self.scheduler.name,
-            metrics=compute_metrics(requests),
+            metrics=aggregate_metrics(requests, metrics_mode),
             sim_time_s=self.local_now,
             iterations=self.iterations,
             phase_breakdown=self.accumulated_phase_times().breakdown(),

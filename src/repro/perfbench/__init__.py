@@ -15,6 +15,14 @@ strict-JSON export, so a bench run doubles as an end-to-end equivalence
 check across optimization work.
 """
 
+from repro.perfbench.population import (
+    MIN_CONCURRENT_SESSIONS,
+    MIN_SPEEDUP,
+    PEAK_MEMORY_CEILING_MB,
+    POPULATION_CONFIG,
+    gate_failures,
+    run_population,
+)
 from repro.perfbench.suite import (
     BENCH_SCHEMA_VERSION,
     DEFAULT_OUT,
@@ -29,10 +37,16 @@ from repro.perfbench.suite import (
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_OUT",
+    "MIN_CONCURRENT_SESSIONS",
+    "MIN_SPEEDUP",
+    "PEAK_MEMORY_CEILING_MB",
+    "POPULATION_CONFIG",
     "Scenario",
     "build_suite",
     "compare_to_baseline",
     "format_bench_table",
+    "gate_failures",
     "latest_baseline",
+    "run_population",
     "run_suite",
 ]

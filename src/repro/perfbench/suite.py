@@ -67,7 +67,7 @@ from repro.analysis.spec import ExperimentSpec
 BENCH_SCHEMA_VERSION = 1
 
 #: Default output path for the committed perf trajectory.
-DEFAULT_OUT = "BENCH_PR9.json"
+DEFAULT_OUT = "BENCH_PR10.json"
 
 #: Iterations/s regression (fractional drop vs baseline) that triggers a
 #: warning in :func:`compare_to_baseline`.
@@ -215,7 +215,16 @@ def run_scenario(scenario: Scenario) -> dict:
 
 
 def run_suite(quick: bool = False, progress=None) -> dict:
-    """Run the whole suite; returns the stable-schema result dict."""
+    """Run the whole suite; returns the stable-schema result dict.
+
+    The population workload-generation benchmark (see
+    :mod:`repro.perfbench.population`) runs in both modes at its one
+    committed operating point — its digest and gates are therefore
+    directly comparable between quick and full results — and lands
+    under the ``"population"`` key, outside the simulation aggregate.
+    """
+    from repro.perfbench.population import run_population
+
     rows = []
     for scenario in build_suite(quick):
         row = run_scenario(scenario)
@@ -230,6 +239,7 @@ def run_suite(quick: bool = False, progress=None) -> dict:
         "suite": "quick" if quick else "full",
         "repro_version": __version__,
         "scenarios": rows,
+        "population": run_population(),
         "aggregate": {
             "wall_s": wall,
             "iterations": iterations,
@@ -314,6 +324,29 @@ def compare_to_baseline(
                     f"{row['attrib_digest']}); fixed-seed trace/attribution "
                     "output changed"
                 )
+    # Population digest: same committed config + fixed seed must yield
+    # the same workload bytes in every mode (the benchmark always runs
+    # at its one operating point), so a divergence is a hard error just
+    # like a scenario digest.  Config changes make it incomparable.
+    base_pop = baseline.get("population")
+    cur_pop = current.get("population")
+    if (
+        isinstance(base_pop, dict)
+        and isinstance(cur_pop, dict)
+        and "digest" in base_pop
+        and "digest" in cur_pop
+    ):
+        if base_pop.get("config") != cur_pop.get("config"):
+            warnings.append(
+                "population config changed vs baseline; digest comparison skipped"
+            )
+        elif base_pop["digest"] != cur_pop["digest"]:
+            errors.append(
+                "error: population workload digest diverged from baseline "
+                f"({base_pop['digest']} -> {cur_pop['digest']}); fixed-seed "
+                "workload generation changed"
+            )
+
     per_scenario: dict[str, dict] = {}
     for row in current["scenarios"]:
         base = base_rows.get(row["name"])
@@ -391,6 +424,22 @@ def format_bench_table(result: dict) -> str:
         f"{agg['iterations']:>8} {agg['iters_per_s']:>9.0f} "
         f"{agg['sim_s_per_wall_s']:>13.2f}"
     )
+    pop = result.get("population")
+    if pop:
+        if "skipped" in pop:
+            lines.append(f"population: skipped ({pop['skipped']})")
+        else:
+            gates = pop["gates"]
+            status = "PASS" if all(g["ok"] for g in gates.values()) else "FAIL"
+            lines.append(
+                f"population: {pop['requests']:,} requests / "
+                f"{pop['peak_concurrent_sessions']:,} peak concurrent sessions; "
+                f"columnar {pop['columnar_req_per_s']:,.0f} req/s "
+                f"({pop['speedup']:.1f}x scalar), "
+                f"peak {pop['tracemalloc_peak_mb']:.0f} MB, "
+                f"identity {'ok' if gates['byte_identity']['ok'] else 'BROKEN'} "
+                f"[gates: {status}]"
+            )
     baseline = result.get("baseline")
     if baseline and baseline.get("comparable") and "aggregate" in baseline:
         lines.append(

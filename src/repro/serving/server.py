@@ -15,11 +15,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.serving.clock import ArrivalStream, SimClock
+from repro.serving.clock import ArrivalStream, ChunkedArrivalStream, SimClock
 from repro.serving.engine import SimulatedEngine
-from repro.serving.metrics import RunMetrics, compute_metrics
+from repro.serving.metrics import RunMetrics
 from repro.serving.request import Request
 from repro.serving.scheduler_base import Scheduler
+from repro.serving.streaming import aggregate_metrics
 
 
 @dataclass(frozen=True)
@@ -84,21 +85,29 @@ class ServingSimulator:
         max_iterations: int = 2_000_000,
         observer=None,
         invariants=None,
+        metrics_mode: str = "exact",
     ) -> None:
         if scheduler.engine is not engine:
             raise ValueError("scheduler must wrap the provided engine")
         self.engine = engine
         self.scheduler = scheduler
-        self.requests = list(requests)
+        # A columnar workload (anything exposing iter_chunks in arrival
+        # order) is consumed lazily — requests materialize as the clock
+        # reaches them instead of all up front.
+        self.requests = requests if hasattr(requests, "iter_chunks") else list(requests)
         self.max_sim_time_s = max_sim_time_s
         self.max_iterations = max_iterations
         self.observer = observer
         self.invariants = invariants
+        self.metrics_mode = metrics_mode
 
     def run(self) -> SimulationReport:
         """Execute the simulation to completion (or safety cutoff)."""
         clock = SimClock()
-        arrivals = ArrivalStream(self.requests)
+        if hasattr(self.requests, "iter_chunks"):
+            arrivals = ChunkedArrivalStream(self.requests.iter_chunks())
+        else:
+            arrivals = ArrivalStream(self.requests)
         iterations = 0
         sampler = None
         if self.observer is not None:
@@ -163,7 +172,7 @@ class ServingSimulator:
             inv.check_conservation(admitted, all_requests, "solo drain")
         return SimulationReport(
             scheduler_name=self.scheduler.name,
-            metrics=compute_metrics(all_requests),
+            metrics=aggregate_metrics(all_requests, self.metrics_mode),
             sim_time_s=clock.now,
             iterations=iterations,
             phase_breakdown=self.engine.phase_times.breakdown(),

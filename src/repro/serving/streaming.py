@@ -1,0 +1,250 @@
+"""Streaming run metrics: O(1) memory in request count.
+
+Exact :func:`~repro.serving.metrics.compute_metrics` keeps every latency
+sample in per-category Python lists — at population scale (10^5..10^6
+requests) the sample lists dominate the metrics footprint.  This module
+provides the same aggregation as an *online accumulator*:
+
+- every count/sum-derived field (request counts, token totals, span,
+  means, speculation and prefix statistics) is accumulated exactly, in
+  feed order — **bit-identical** to the exact path when requests are fed
+  in the same order ``compute_metrics`` iterates them;
+- percentiles come from a deterministic fixed-size reservoir (Algorithm
+  R with splitmix64-derived replacement draws, keyed by category and
+  metric name — no global RNG state, so results are independent of
+  what else ran in the process).  While a category's sample count is
+  within the reservoir capacity the reservoir *is* the full sample and
+  percentiles are bit-exact too; beyond it they are estimates whose
+  rank error has standard deviation ``sqrt(q * (1 - q) / capacity)``
+  (< 0.16% of rank at the default capacity 4096), i.e. the p99 of a
+  1M-request category is read from within ± a few hundredths of a
+  percentile rank.
+
+``StreamingRunMetrics`` produces a plain :class:`RunMetrics`, so every
+consumer (export, gates, plots) is agnostic to which path built it.
+:func:`aggregate_metrics` is the mode dispatcher used by the simulators;
+``metrics: streaming`` in a spec selects it (see
+:mod:`repro.analysis.spec` — the knob forks cache keys precisely because
+over-capacity percentiles may differ from the exact reference).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro._rng import derive_seed, randint
+from repro.serving.metrics import (
+    CategoryMetrics,
+    RunMetrics,
+    _percentile_sorted,
+    compute_metrics,
+)
+from repro.serving.request import Request
+
+#: Default reservoir capacity per (category, metric) stream.  Percentiles
+#: are exact up to this many samples per category; beyond it the rank
+#: error stddev is sqrt(q(1-q)/4096) — ~0.11% of rank at the median,
+#: ~0.016% at p99.
+RESERVOIR_CAPACITY = 4096
+
+#: Metric-mode spec values (the ``metrics:`` system knob).
+METRICS_MODES = ("exact", "streaming")
+
+
+class Reservoir:
+    """Deterministic Algorithm-R uniform sample of a float stream.
+
+    Replacement draws come from ``randint(key, count, 0, count)`` — a
+    pure function of the stream key and the item's ordinal — so the
+    retained sample depends only on (key, stream contents), never on
+    process-global RNG state or interleaving with other streams.
+    """
+
+    __slots__ = ("_key", "capacity", "count", "_sample")
+
+    def __init__(self, key: int, capacity: int = RESERVOIR_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._key = key
+        self.capacity = capacity
+        self.count = 0
+        self._sample: list[float] = []
+
+    def add(self, value: float) -> None:
+        """Offer one observation to the reservoir."""
+        self.count += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(value)
+            return
+        # Classic Algorithm R: item i (1-based) replaces a random slot
+        # with probability capacity / i.
+        j = randint(self._key, self.count, 0, self.count)
+        if j < self.capacity:
+            self._sample[j] = value
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether the reservoir still holds the entire stream."""
+        return self.count <= self.capacity
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the retained sample."""
+        return _percentile_sorted(sorted(self._sample), q)
+
+
+class _CategoryAccumulator:
+    """Online per-category sums plus latency reservoirs."""
+
+    __slots__ = (
+        "name", "num_requests", "num_attained", "tpot_sum", "ttft_sum",
+        "num_finished", "tpots", "ttfts",
+    )
+
+    def __init__(self, name: str, capacity: int) -> None:
+        self.name = name
+        self.num_requests = 0
+        self.num_attained = 0
+        self.num_finished = 0
+        self.tpot_sum = 0.0
+        self.ttft_sum = 0.0
+        self.tpots = Reservoir(derive_seed(0x52455356, "tpot", name), capacity)  # "RESV"
+        self.ttfts = Reservoir(derive_seed(0x52455356, "ttft", name), capacity)
+
+    def add(self, r: Request) -> None:
+        self.num_requests += 1
+        if not r.is_finished:
+            return
+        self.num_finished += 1
+        tpot = r.avg_tpot
+        ttft = r.ttft
+        self.tpot_sum += tpot
+        self.ttft_sum += ttft
+        self.tpots.add(tpot)
+        self.ttfts.add(ttft)
+        if r.attained:
+            self.num_attained += 1
+
+    def finalize(self) -> CategoryMetrics:
+        n = self.num_finished
+        return CategoryMetrics(
+            name=self.name,
+            num_requests=self.num_requests,
+            num_attained=self.num_attained,
+            mean_tpot_s=self.tpot_sum / n if n else None,
+            p99_tpot_s=self.tpots.percentile(99.0) if n else None,
+            mean_ttft_s=self.ttft_sum / n if n else None,
+            p99_ttft_s=self.ttfts.percentile(99.0) if n else None,
+            p50_tpot_s=self.tpots.percentile(50.0) if n else None,
+            p50_ttft_s=self.ttfts.percentile(50.0) if n else None,
+        )
+
+
+class StreamingRunMetrics:
+    """Online :class:`RunMetrics` accumulator — O(1) memory per category.
+
+    Feed requests with :meth:`add` (in the order ``compute_metrics``
+    would iterate them, for bit-equal sums/means), then :meth:`finalize`.
+    Count/sum fields are exact; percentiles are exact while a category
+    has at most ``capacity`` finished requests and reservoir estimates
+    beyond that (error bounds in the module docstring).
+    """
+
+    def __init__(self, capacity: int = RESERVOIR_CAPACITY) -> None:
+        self._capacity = capacity
+        self._by_category: dict[str, _CategoryAccumulator] = {}
+        self.num_requests = 0
+        self.num_finished = 0
+        self.num_attained = 0
+        self.total_tokens = 0
+        self.attained_tokens = 0
+        self.total_verify = 0
+        self.total_accepted = 0
+        self.prefix_hit_requests = 0
+        self.prefill_tokens_saved = 0
+        self.requests_disrupted = 0
+        self.requests_lost = 0
+        self.first_arrival = float("inf")
+        self.last_event = float("-inf")
+        self.ttft_sum = 0.0
+
+    def add(self, r: Request) -> None:
+        """Fold one request into the accumulator."""
+        self.num_requests += 1
+        cat = self._by_category.get(r.category)
+        if cat is None:
+            cat = self._by_category[r.category] = _CategoryAccumulator(
+                r.category, self._capacity
+            )
+        cat.add(r)
+        self.total_tokens += r.n_generated
+        self.total_verify += r.verify_steps
+        self.total_accepted += r.accepted_draft_tokens
+        if r.cached_prompt_tokens > 0:
+            self.prefix_hit_requests += 1
+            self.prefill_tokens_saved += r.cached_prompt_tokens
+        if r.failover_count > 0:
+            self.requests_disrupted += 1
+            if not r.is_finished:
+                self.requests_lost += 1
+        if r.arrival_time < self.first_arrival:
+            self.first_arrival = r.arrival_time
+        if r.is_finished:
+            self.num_finished += 1
+            self.ttft_sum += r.ttft
+            if r.attained:
+                self.num_attained += 1
+                self.attained_tokens += r.n_generated
+            if r.finish_time is not None and r.finish_time > self.last_event:
+                self.last_event = r.finish_time
+
+    def add_all(self, requests: Iterable[Request]) -> "StreamingRunMetrics":
+        """Fold an iterable of requests; returns self for chaining."""
+        for r in requests:
+            self.add(r)
+        return self
+
+    def finalize(self) -> RunMetrics:
+        """The accumulated :class:`RunMetrics`."""
+        if self.num_requests == 0:
+            return RunMetrics(0, 0, 0, 0, 0, 0.0, 0.0)
+        last_event = self.last_event
+        if last_event == float("-inf"):
+            last_event = self.first_arrival
+        span = max(1e-9, last_event - self.first_arrival)
+        per_cat = {
+            name: self._by_category[name].finalize()
+            for name in sorted(self._by_category)
+        }
+        return RunMetrics(
+            num_requests=self.num_requests,
+            num_finished=self.num_finished,
+            num_attained=self.num_attained,
+            total_tokens=self.total_tokens,
+            attained_tokens=self.attained_tokens,
+            span_s=span,
+            mean_accepted_per_verify=(
+                self.total_accepted / self.total_verify if self.total_verify else 0.0
+            ),
+            per_category=per_cat,
+            mean_ttft_s=(self.ttft_sum / self.num_finished) if self.num_finished else None,
+            prefix_hit_requests=self.prefix_hit_requests,
+            prefill_tokens_saved=self.prefill_tokens_saved,
+            requests_disrupted=self.requests_disrupted,
+            requests_lost=self.requests_lost,
+        )
+
+
+def aggregate_metrics(requests: Iterable[Request], mode: str = "exact") -> RunMetrics:
+    """Compute :class:`RunMetrics` with the selected aggregation mode.
+
+    ``exact`` is the reference :func:`compute_metrics`; ``streaming``
+    folds the same iteration order through :class:`StreamingRunMetrics`.
+    The two agree exactly on every count/sum/mean field, and on
+    percentiles while each category holds at most
+    ``RESERVOIR_CAPACITY`` finished requests.
+    """
+    if mode == "exact":
+        return compute_metrics(requests)
+    if mode == "streaming":
+        return StreamingRunMetrics().add_all(requests).finalize()
+    raise ValueError(f"unknown metrics mode {mode!r} (expected one of {METRICS_MODES})")

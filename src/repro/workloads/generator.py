@@ -15,6 +15,7 @@ from repro._rng import hash_seed, uniform
 from repro.hardware.roofline import RooflineModel
 from repro.registry import TRACES, Param
 from repro.serving.request import Request
+from repro.workloads import batcharrivals
 from repro.workloads.categories import CATEGORIES, DEFAULT_MIX, Category
 from repro.workloads.datasets import DATASETS, SyntheticDataset
 from repro.workloads.trace import (
@@ -23,6 +24,11 @@ from repro.workloads.trace import (
     phased_trace,
     uniform_trace,
 )
+
+
+def _is_ascending(arrivals: list[float]) -> bool:
+    """Single monotonicity scan (non-decreasing)."""
+    return all(arrivals[i - 1] <= arrivals[i] for i in range(1, len(arrivals)))
 
 
 @dataclass
@@ -66,17 +72,37 @@ class WorkloadGenerator:
             priority=0 if category.is_urgent else 1,
         )
 
-    def _sample_category(self, mix: dict[str, float], rid: int) -> Category:
-        h = hash_seed(self.seed, 0x434154, rid)  # "CAT"
-        u = uniform(h, 0)
+    def _category_cdf(self, mix: dict[str, float]) -> tuple[list[str], list[float]]:
+        """Normalized category CDF for ``mix``, computed once per workload.
+
+        The CDF entries are accumulated with exactly the scalar draw
+        loop's float sequence (``acc += mix[name] / total`` over sorted
+        names), so sampling against the precomputed list is bit-identical
+        to the historical per-rid recomputation.
+        """
         total = sum(mix.values())
-        acc = 0.0
         names = sorted(mix)
+        cdf: list[float] = []
+        acc = 0.0
         for name in names:
             acc += mix[name] / total
+            cdf.append(acc)
+        return names, cdf
+
+    def _sample_category_cdf(
+        self, names: list[str], cdf: list[float], rid: int
+    ) -> Category:
+        """One category draw against a precomputed normalized CDF."""
+        h = hash_seed(self.seed, 0x434154, rid)  # "CAT"
+        u = uniform(h, 0)
+        for name, acc in zip(names, cdf):
             if u < acc:
                 return self.categories[name]
         return self.categories[names[-1]]
+
+    def _sample_category(self, mix: dict[str, float], rid: int) -> Category:
+        names, cdf = self._category_cdf(mix)
+        return self._sample_category_cdf(names, cdf, rid)
 
     # ------------------------------------------------------------------
     def from_arrivals(
@@ -87,10 +113,39 @@ class WorkloadGenerator:
         unknown = set(mix) - set(self.categories)
         if unknown:
             raise KeyError(f"unknown categories in mix: {sorted(unknown)}")
+        # Every registered trace already emits ascending arrivals; one
+        # monotonicity scan skips the redundant re-sort then (explicit
+        # out-of-order input still sorts, preserving the contract).
+        if not _is_ascending(arrivals):
+            arrivals = sorted(arrivals)
+        if batcharrivals.enabled(len(arrivals)):
+            return batcharrivals.build_requests(self, arrivals, mix)
+        names, cdf = self._category_cdf(mix)
         return [
-            self._make_request(rid, t, self._sample_category(mix, rid))
-            for rid, t in enumerate(sorted(arrivals))
+            self._make_request(rid, t, self._sample_category_cdf(names, cdf, rid))
+            for rid, t in enumerate(arrivals)
         ]
+
+    def columnar_from_arrivals(
+        self, arrivals: list[float], mix: dict[str, float] | None = None
+    ) -> "batcharrivals.ColumnarWorkload":
+        """The same workload as :meth:`from_arrivals`, as numpy columns.
+
+        ``columnar_from_arrivals(...).materialize()`` is bit-identical to
+        ``from_arrivals(...)`` but the column store holds 32 bytes per
+        request (64 with session columns) and materializes lazily
+        (``iter_chunks``/``iter_requests``).
+        Requires the batch substrate; raises when numpy is unavailable.
+        """
+        if not batcharrivals.AVAILABLE:
+            raise RuntimeError("columnar workloads require numpy (unavailable)")
+        mix = mix or DEFAULT_MIX
+        unknown = set(mix) - set(self.categories)
+        if unknown:
+            raise KeyError(f"unknown categories in mix: {sorted(unknown)}")
+        if not _is_ascending(arrivals):
+            arrivals = sorted(arrivals)
+        return batcharrivals.columnar_from_arrivals(self, arrivals, mix)
 
     def bursty(
         self,
@@ -142,6 +197,10 @@ class WorkloadGenerator:
         pairs = phased_trace(
             duration_s, list(category_order), peak_rps, base_rps, seed=self.seed
         )
+        if batcharrivals.enabled(len(pairs)):
+            return batcharrivals.columnar_phased(
+                self, pairs, tuple(category_order)
+            ).materialize()
         return [
             self._make_request(rid, t, self.categories[cat])
             for rid, (t, cat) in enumerate(pairs)

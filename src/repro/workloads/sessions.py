@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from repro._rng import derive_seed, hash_seed, uniform
 from repro.registry import TRACES, Param
 from repro.serving.request import Request
+from repro.workloads import batcharrivals
 from repro.workloads.categories import DEFAULT_MIX
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.trace import uniform_trace
@@ -101,11 +102,14 @@ class SessionGenerator:
         starts = uniform_trace(
             duration_s, rps / self.turns, seed=derive_seed(seed, "session-starts")
         )
+        if batcharrivals.enabled(len(starts) * self.turns):
+            return self.columnar(duration_s, rps, mix, _starts=starts).materialize()
 
+        names, cdf = self.base._category_cdf(mix)
         protos: list[tuple[float, int, int, Request]] = []
         for s, start in enumerate(starts):
-            category = self.base._sample_category(
-                mix, derive_seed(seed, "session-category", s)
+            category = self.base._sample_category_cdf(
+                names, cdf, derive_seed(seed, "session-category", s)
             )
             dataset = self.base.datasets[category.dataset]
             sess_namespace = hash_seed(seed, 0x53455353, s)  # "SESS"
@@ -154,6 +158,35 @@ class SessionGenerator:
             req.rid = rid
             requests.append(req)
         return requests
+
+    def columnar(
+        self,
+        duration_s: float,
+        rps: float,
+        mix: dict[str, float] | None = None,
+        _starts: list[float] | None = None,
+    ) -> "batcharrivals.ColumnarWorkload":
+        """The session workload as numpy columns (population scale).
+
+        Same requests as :meth:`generate` — ``columnar(...).materialize()``
+        is bit-identical — but holds ~60 bytes per request instead of a
+        ``Request`` object, and supports chunked/lazy materialization via
+        ``iter_chunks`` / ``iter_requests``.  Requires the batch substrate
+        (:mod:`repro.workloads.batcharrivals`); raises otherwise.
+        """
+        if not batcharrivals.AVAILABLE:
+            raise RuntimeError("columnar workloads require numpy (unavailable)")
+        if duration_s <= 0 or rps <= 0:
+            raise ValueError("duration and rps must be positive")
+        mix = mix or DEFAULT_MIX
+        unknown = set(mix) - set(self.base.categories)
+        if unknown:
+            raise KeyError(f"unknown categories in mix: {sorted(unknown)}")
+        starts = _starts if _starts is not None else uniform_trace(
+            duration_s, rps / self.turns,
+            seed=derive_seed(self.base.seed, "session-starts"),
+        )
+        return batcharrivals.columnar_sessions(self, duration_s, starts, mix)
 
 
 # ----------------------------------------------------------------------

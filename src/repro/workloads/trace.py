@@ -26,6 +26,20 @@ from __future__ import annotations
 import math
 
 from repro._rng import hash_seed, uniform, uniforms
+from repro.workloads import batcharrivals
+
+
+def _thin(rate_fn, rate_vec, duration_s: float, rate_max: float, seed: int) -> list[float]:
+    """Poisson thinning, vectorized when the batch substrate is enabled.
+
+    ``rate_fn`` is the scalar rate; ``rate_vec`` evaluates the same
+    expression sequence over a float64 array (or ``None`` when no vector
+    form exists).  Both paths emit bit-identical arrivals — the gate is
+    purely a throughput decision, sized by the expected candidate count.
+    """
+    if rate_vec is not None and batcharrivals.enabled(int(rate_max * duration_s)):
+        return batcharrivals.thin_poisson(rate_vec, duration_s, rate_max, seed)
+    return _thin_poisson(rate_fn, duration_s, rate_max, seed)
 
 
 def _thin_poisson(
@@ -86,14 +100,28 @@ def bursty_trace(
     mean_shape = sum(shape(duration_s * (k + 0.5) / samples) for k in range(samples)) / samples
     scale = target_rps / mean_shape
     rate_max = scale * max(shape(duration_s * (k + 0.5) / samples) for k in range(samples)) * 1.05
-    return _thin_poisson(lambda t: scale * shape(t), duration_s, rate_max, seed)
+
+    def shape_vec(t):
+        # Same float sequence as shape(), elementwise over a time column;
+        # sin/exp/**2 go through the exact kernels (numpy's SIMD
+        # transcendentals are a few ULP off libm, which would fork digests).
+        ba = batcharrivals
+        c = 2 * math.pi
+        base = 1.0 + burstiness * 0.6 * ba.vsin(c * t / (duration_s / 2.3))
+        base = base + burstiness * 0.3 * ba.vsin(c * t / (duration_s / 7.1) + 1.0)
+        for p in burst_pos:
+            base = base + burstiness * 1.5 * ba.vexp(-0.5 * ba.vpow2((t - p) / burst_width))
+        return ba.vmaximum(0.05, base)
+
+    return _thin(lambda t: scale * shape(t), lambda t: scale * shape_vec(t),
+                 duration_s, rate_max, seed)
 
 
 def uniform_trace(duration_s: float, rps: float, seed: int = 0) -> list[float]:
     """Homogeneous Poisson arrivals (steady load)."""
     if duration_s <= 0 or rps <= 0:
         raise ValueError("duration and rps must be positive")
-    return _thin_poisson(lambda t: rps, duration_s, rps, seed)
+    return _thin(lambda t: rps, lambda t: batcharrivals.vfull(t, rps), duration_s, rps, seed)
 
 
 def diurnal_trace(
@@ -126,8 +154,12 @@ def diurnal_trace(
         phase = 2 * math.pi * cycles * t / duration_s
         return target_rps * (1.0 + amplitude * math.sin(phase - math.pi / 2))
 
+    def rate_vec(t):
+        phase = 2 * math.pi * cycles * t / duration_s
+        return target_rps * (1.0 + amplitude * batcharrivals.vsin(phase - math.pi / 2))
+
     rate_max = target_rps * (1.0 + amplitude)
-    return _thin_poisson(rate, duration_s, rate_max, seed)
+    return _thin(rate, rate_vec, duration_s, rate_max, seed)
 
 
 def phased_trace(
@@ -155,8 +187,12 @@ def phased_trace(
         def rate(t: float, c: float = centre) -> float:
             return base_rps + peak_rps * math.exp(-0.5 * ((t - c) / width) ** 2)
 
+        def rate_vec(t, c: float = centre):
+            ba = batcharrivals
+            return base_rps + peak_rps * ba.vexp(-0.5 * ba.vpow2((t - c) / width))
+
         rate_max = base_rps + peak_rps
-        arrivals = _thin_poisson(rate, duration_s, rate_max, hash_seed(seed, k))
+        arrivals = _thin(rate, rate_vec, duration_s, rate_max, hash_seed(seed, k))
         out.extend((t, cat) for t in arrivals)
     out.sort(key=lambda tc: tc[0])
     return out

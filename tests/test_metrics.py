@@ -63,11 +63,14 @@ class TestPercentile:
         assert _percentile(values, 99.0) == 0.4
         assert _percentile(values, 0.0) == 0.1  # rank floors at 1
 
-    def test_empty_inputs_are_nan(self):
-        import math
-
-        assert math.isnan(_percentile([], 50.0))
-        assert math.isnan(_percentile_sorted([], 50.0))
+    def test_empty_inputs_raise(self):
+        # NaN-on-empty was a strict-JSON (allow_nan=False) landmine and
+        # broke dataclass equality; empty samples are a caller bug —
+        # callers guard and report None (the CategoryMetrics convention).
+        with pytest.raises(ValueError, match="empty sample"):
+            _percentile([], 50.0)
+        with pytest.raises(ValueError, match="empty sample"):
+            _percentile_sorted([], 50.0)
 
 
 class TestComputeMetrics:

@@ -1,0 +1,150 @@
+"""Streaming metrics accumulator (repro.serving.streaming).
+
+``StreamingRunMetrics`` makes run metrics O(1) in request count: online
+sums for every mean/counter plus deterministic fixed-size reservoirs
+for percentiles.  The contract tested here:
+
+- **exact-at-small-n**: while every per-category sample count fits the
+  reservoir capacity (the default 4096 dwarfs any test run), the
+  streamed :class:`RunMetrics` equals ``compute_metrics`` *as a whole
+  dataclass* — sums, counters, and percentiles alike;
+- **bounded beyond capacity**: with a deliberately tiny reservoir the
+  percentile estimate stays within the expected rank-error band;
+- **deterministic**: reservoirs are keyed splitmix64 streams — same
+  feed, same sample, no global RNG;
+- the ``metrics`` spec knob forks cache keys only for ``streaming``
+  (``exact`` stays invisible so existing keys and goldens survive).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.spec import ExperimentSpec, SpecError
+from repro.serving.metrics import compute_metrics
+from repro.serving.streaming import (
+    RESERVOIR_CAPACITY,
+    Reservoir,
+    StreamingRunMetrics,
+    aggregate_metrics,
+)
+
+
+def _finished_requests(target_roofline, n_seed: int = 0):
+    """A finished workload with per-category samples (one real sim)."""
+    from repro.analysis.harness import build_setup, run_once
+    from repro.workloads.generator import WorkloadGenerator
+
+    setup = build_setup("llama70b", seed=n_seed)
+    gen = WorkloadGenerator(setup.target_roofline, seed=n_seed)
+    requests = gen.steady(20.0, 4.0)
+    # The harness clones its input; the finished state lives in the
+    # report's requests.
+    return run_once(setup, "vllm", requests).requests
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_streaming_equals_exact_below_capacity(self, target_roofline, seed):
+        requests = _finished_requests(target_roofline, seed)
+        exact = compute_metrics(requests)
+        acc = StreamingRunMetrics()
+        for r in requests:
+            acc.add(r)
+        assert acc.finalize() == exact  # full dataclass equality
+
+    def test_aggregate_metrics_dispatch(self, target_roofline):
+        requests = _finished_requests(target_roofline)
+        assert aggregate_metrics(requests, "exact") == compute_metrics(requests)
+        assert aggregate_metrics(requests, "streaming") == compute_metrics(requests)
+        with pytest.raises(ValueError, match="metrics mode"):
+            aggregate_metrics(requests, "approximate")
+
+    def test_empty_run(self):
+        assert StreamingRunMetrics().finalize() == compute_metrics([])
+
+    def test_add_all_matches_add(self, target_roofline):
+        requests = _finished_requests(target_roofline)
+        one = StreamingRunMetrics()
+        for r in requests:
+            one.add(r)
+        bulk = StreamingRunMetrics()
+        bulk.add_all(requests)
+        assert one.finalize() == bulk.finalize()
+
+    def test_simulator_streaming_mode_matches_exact(self, target_roofline):
+        from repro.analysis.harness import build_setup, run_once
+        from repro.workloads.generator import WorkloadGenerator
+
+        setup = build_setup("llama70b", seed=2)
+        gen = WorkloadGenerator(setup.target_roofline, seed=2)
+        requests = gen.steady(15.0, 4.0)
+        exact = run_once(setup, "vllm", requests, metrics_mode="exact")
+        streaming = run_once(setup, "vllm", requests, metrics_mode="streaming")
+        assert streaming.metrics == exact.metrics
+        assert streaming.sim_time_s == exact.sim_time_s
+
+
+class TestReservoir:
+    def test_exact_until_capacity(self):
+        res = Reservoir(key=123, capacity=8)
+        for v in [5.0, 1.0, 3.0]:
+            res.add(v)
+        assert res.is_exact
+        assert res.percentile(50.0) == sorted([5.0, 1.0, 3.0])[1]
+
+    def test_deterministic_same_key_same_feed(self):
+        a, b = Reservoir(key=7, capacity=16), Reservoir(key=7, capacity=16)
+        for i in range(1000):
+            a.add(float(i))
+            b.add(float(i))
+        assert not a.is_exact
+        assert a.percentile(99.0) == b.percentile(99.0)
+
+    def test_bounded_rank_error_beyond_capacity(self):
+        # 10k uniform values through a 256-slot reservoir: the p50
+        # estimate's rank error concentrates around sqrt(q(1-q)/K)
+        # (~3.1% of the range here); 6 sigma gives a deterministic-seed
+        # margin without being vacuous.
+        res = Reservoir(key=42, capacity=256)
+        n = 10_000
+        for i in range(n):
+            res.add(i / n)
+        estimate = res.percentile(50.0)
+        assert abs(estimate - 0.5) < 6 * (0.25 / 256) ** 0.5
+
+    def test_empty_reservoir_has_no_percentile(self):
+        res = Reservoir(key=1, capacity=4)
+        with pytest.raises(ValueError):
+            res.percentile(50.0)
+
+    def test_default_capacity_is_committed(self):
+        assert RESERVOIR_CAPACITY == 4096
+
+
+def _spec(**kw):
+    kw.setdefault("model", "llama70b")
+    kw.setdefault("system", "vllm")
+    kw.setdefault("rps", 2.0)
+    kw.setdefault("duration_s", 4.0)
+    kw.setdefault("seed", 0)
+    return ExperimentSpec.create(**kw)
+
+
+class TestSpecKnob:
+    def test_exact_is_invisible_in_cache_key(self):
+        base = _spec()
+        explicit = _spec(metrics="exact")
+        assert "metrics" not in base.to_dict()["system"]
+        assert base.digest() == explicit.digest()
+
+    def test_streaming_forks_cache_key(self):
+        exact = _spec()
+        streaming = _spec(metrics="streaming")
+        assert streaming.to_dict()["system"]["metrics"] == "streaming"
+        assert streaming.digest() != exact.digest()
+        assert streaming.metrics == "streaming"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SpecError):
+            _spec(metrics="sometimes")
